@@ -1,0 +1,203 @@
+// Command serbench regenerates Table I of Lu & Zhou, DATE 2013: for every
+// benchmark it runs the Efficient MinObs baseline and the MinObsWin
+// algorithm from the Section V initialization and reports circuit
+// statistics, SER changes, register changes, iteration counts and run
+// times, next to the paper's published numbers.
+//
+// The ISCAS89/ITC99 netlists the paper used are not redistributable;
+// seeded synthetic substitutes reproduce each circuit's published |V|,
+// |E|, #FF and clock-period regime (see DESIGN.md §4). Absolute SER values
+// therefore differ; the comparison targets the shape: who wins, by what
+// factor, and where the two algorithms coincide.
+//
+// Usage:
+//
+//	serbench [-scale auto|N] [-circuits name,name,...] [-parallel N]
+//	         [-frames N] [-words N] [-engine closure|forest] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"serretime"
+	"serretime/internal/gen"
+)
+
+type row struct {
+	name             string
+	scale            int
+	stats            serretime.Stats
+	phi              float64
+	shOK             bool
+	serOrig          float64
+	ref, win         *serretime.RetimeResult
+	refTime, winTime time.Duration
+	err              error
+	paper            gen.TableISpec
+}
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "auto", "shrink factor: auto, or an integer >= 1 applied to every circuit")
+		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: all 21 of Table I)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "circuits processed concurrently")
+		frames    = flag.Int("frames", 15, "time-frame expansion depth n")
+		words     = flag.Int("words", 4, "signature width in 64-bit words")
+		engine    = flag.String("engine", "closure", "optimizer engine: closure or forest")
+		verify    = flag.Bool("verify", false, "co-simulate every optimizer move for sequential equivalence")
+		autoCap   = flag.Int("autocap", 12000, "with -scale auto, target gate count per circuit")
+	)
+	flag.Parse()
+
+	names := serretime.TableICircuits()
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	eng := serretime.EngineClosure
+	if *engine == "forest" {
+		eng = serretime.EngineForest
+	} else if *engine != "closure" {
+		fmt.Fprintf(os.Stderr, "serbench: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	rows := make([]*row, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInt(*parallel, 1))
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = runOne(name, *scaleFlag, *autoCap, *frames, *words, eng, *verify)
+		}()
+	}
+	wg.Wait()
+	printTable(rows)
+}
+
+func runOne(name, scaleFlag string, autoCap, frames, words int, eng serretime.EngineKind, verify bool) *row {
+	r := &row{name: name}
+	spec, err := gen.FindTableI(name)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.paper = spec
+	r.scale = 1
+	switch scaleFlag {
+	case "auto":
+		r.scale = (spec.Gates + autoCap - 1) / autoCap
+	default:
+		n, err := strconv.Atoi(scaleFlag)
+		if err != nil || n < 1 {
+			r.err = fmt.Errorf("bad -scale %q", scaleFlag)
+			return r
+		}
+		r.scale = n
+	}
+	d, err := serretime.NewTableIDesign(name, r.scale)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.stats, err = d.Stats()
+	if err != nil {
+		r.err = err
+		return r
+	}
+	opts := serretime.RetimeOptions{
+		Algorithm: serretime.MinObs,
+		Analysis:  serretime.AnalysisOptions{Frames: frames, SignatureWords: words},
+		Engine:    eng,
+		Verify:    verify,
+	}
+	start := time.Now()
+	r.ref, err = d.Retime(opts)
+	r.refTime = time.Since(start)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	opts.Algorithm = serretime.MinObsWin
+	start = time.Now()
+	r.win, err = d.Retime(opts)
+	r.winTime = time.Since(start)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.phi = r.win.Phi
+	r.shOK = r.win.SetupHoldOK
+	r.serOrig = r.win.Before.SER
+	return r
+}
+
+func printTable(rows []*row) {
+	fmt.Println("Reproduction of Table I (Lu & Zhou, DATE 2013) on synthetic substitutes")
+	fmt.Println("paper columns in [brackets]; ratio = SER_ref / SER_new")
+	fmt.Println()
+	fmt.Printf("%-12s %5s %7s %8s %7s %6s %3s %9s | %8s %8s %7s | %8s %8s %7s %3s | %7s %7s\n",
+		"circuit", "scale", "|V|", "|E|", "#FF", "phi", "sh", "SER",
+		"dSERref", "[paper]", "t_ref", "dSERnew", "[paper]", "t_new", "#J", "ratio", "[paper]")
+	var sumRef, sumWin, sumRatio float64
+	var n int
+	for _, r := range rows {
+		if r == nil {
+			continue
+		}
+		if r.err != nil {
+			fmt.Printf("%-12s ERROR: %v\n", r.name, r.err)
+			continue
+		}
+		ratio := 100.0
+		if r.win.After.SER > 0 {
+			ratio = 100 * r.ref.After.SER / r.win.After.SER
+		}
+		sh := "no"
+		if r.shOK {
+			sh = "yes"
+		}
+		fmt.Printf("%-12s %5d %7d %8d %7d %6.1f %3s %9.2e | %7.2f%% %7.2f%% %6.2fs | %7.2f%% %7.2f%% %6.2fs %3d | %6.1f%% %6.0f%%\n",
+			r.name, r.scale, r.stats.Vertices, r.stats.Edges, int64(r.win.Before.SharedFFs),
+			r.phi, sh, r.serOrig,
+			r.ref.DeltaSER(), r.paper.PaperDSERRef, r.refTime.Seconds(),
+			r.win.DeltaSER(), r.paper.PaperDSERNew, r.winTime.Seconds(), r.win.Rounds,
+			ratio, r.paper.PaperRatio)
+		sumRef += r.ref.DeltaSER()
+		sumWin += r.win.DeltaSER()
+		sumRatio += ratio
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("%-12s %s\n", "AVG.", strings.Repeat("-", 40))
+		fmt.Printf("%-12s mean dSER: MinObs %.2f%% [paper -26.70%%]   MinObsWin %.2f%% [paper -32.70%%]   mean ratio %.1f%% [paper 115%%]\n",
+			"", sumRef/float64(n), sumWin/float64(n), sumRatio/float64(n))
+	}
+	// Register deltas, compactly.
+	fmt.Println()
+	fmt.Printf("%-12s %9s %9s | %9s %9s\n", "circuit", "dFFref", "[paper]", "dFFnew", "[paper]")
+	for _, r := range rows {
+		if r == nil || r.err != nil {
+			continue
+		}
+		fmt.Printf("%-12s %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
+			r.name, r.ref.DeltaFF(), r.paper.PaperDFFRef, r.win.DeltaFF(), r.paper.PaperDFFNew)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Tradeoff: sweeps the two knobs the paper discusses around MinObsWin —
+// the shortest-path bound Rmin (via synthetic overrides of the clock
+// relaxation ε) and the area weight λ of the Section VII extension — and
+// prints the resulting SER / register-count frontier.
+//
+// Run from the repository root:
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serretime"
+)
+
+func main() {
+	d, err := serretime.Synthesize(serretime.CircuitSpec{
+		Name:  "tradeoff-demo",
+		Gates: 1500, Conns: 3300, FFs: 450, Depth: 35,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ε sweep (clock relaxation over the minimal period): more slack,")
+	fmt.Println("more freedom for the optimizer, larger windows per eq. (4).")
+	fmt.Printf("%8s %8s %12s %9s %8s\n", "epsilon", "phi", "SER after", "dSER", "dFF")
+	for _, eps := range []float64{0.02, 0.05, 0.10, 0.20, 0.40} {
+		res, err := d.Retime(serretime.RetimeOptions{
+			Algorithm: serretime.MinObsWin,
+			Epsilon:   eps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0f%% %8.4g %12.4e %+8.2f%% %+7.2f%%\n",
+			eps*100, res.Phi, res.After.SER, res.DeltaSER(), res.DeltaFF())
+	}
+
+	fmt.Println()
+	fmt.Println("λ sweep (area-weighted objective, the paper's Section VII")
+	fmt.Println("extension): trading observability against register count.")
+	fmt.Printf("%8s %12s %9s %10s %8s\n", "lambda", "SER after", "dSER", "reg-obs", "dFF")
+	for _, lambda := range []float64{0, 0.25, 1, 4, 16} {
+		res, err := d.Retime(serretime.RetimeOptions{
+			Algorithm:  serretime.MinObsWin,
+			AreaWeight: lambda,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.2f %12.4e %+8.2f%% %10.4g %+7.2f%%\n",
+			lambda, res.After.SER, res.DeltaSER(), res.After.RegisterObs, res.DeltaFF())
+	}
+}

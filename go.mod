@@ -1,0 +1,3 @@
+module serretime
+
+go 1.22

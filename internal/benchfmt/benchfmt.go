@@ -1,0 +1,213 @@
+// Package benchfmt reads and writes the ISCAS89 ".bench" netlist format.
+//
+// The format is line-oriented:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G11 = NOT(G5)
+//	G14 = NAND(G0, G10)
+//
+// Gate keywords are case-insensitive. Supported functions: AND, NAND, OR,
+// NOR, XOR, XNOR, NOT, BUF/BUFF, DFF, plus CONST0/CONST1 ("GND"/"VDD" are
+// accepted as aliases). Net names may contain any non-whitespace characters
+// except '(', ')', ',' and '='.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"serretime/internal/circuit"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+}
+
+var funcByName = map[string]circuit.Func{
+	"AND": circuit.FnAnd, "NAND": circuit.FnNand,
+	"OR": circuit.FnOr, "NOR": circuit.FnNor,
+	"XOR": circuit.FnXor, "XNOR": circuit.FnXnor,
+	"NOT": circuit.FnNot, "INV": circuit.FnNot,
+	"BUF": circuit.FnBuf, "BUFF": circuit.FnBuf,
+	"CONST0": circuit.FnConst0, "GND": circuit.FnConst0,
+	"CONST1": circuit.FnConst1, "VDD": circuit.FnConst1,
+}
+
+var nameByFunc = map[circuit.Func]string{
+	circuit.FnAnd: "AND", circuit.FnNand: "NAND",
+	circuit.FnOr: "OR", circuit.FnNor: "NOR",
+	circuit.FnXor: "XOR", circuit.FnXnor: "XNOR",
+	circuit.FnNot: "NOT", circuit.FnBuf: "BUFF",
+	circuit.FnConst0: "CONST0", circuit.FnConst1: "CONST1",
+}
+
+// Parse reads a .bench netlist. The design name is taken from the first
+// "# name" comment if present, else left as the given fallback.
+func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(fallbackName)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return c, nil
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT"):
+		name, err := parseDirectiveArg(line)
+		if err != nil {
+			return err
+		}
+		b.PI(name)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT"):
+		name, err := parseDirectiveArg(line)
+		if err != nil {
+			return err
+		}
+		b.PO(name)
+		return nil
+	}
+	// Assignment: name = FN(args...)
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("unrecognized statement %q", line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	if lhs == "" || strings.ContainsAny(lhs, "(),") {
+		return fmt.Errorf("bad net name %q", lhs)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closeIdx := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("bad gate expression %q", rhs)
+	}
+	fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var args []string
+	for _, a := range strings.Split(rhs[open+1:closeIdx], ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			args = append(args, a)
+		}
+	}
+	if fnName == "DFF" || fnName == "FF" || fnName == "LATCH" {
+		if len(args) != 1 {
+			return fmt.Errorf("DFF %q needs exactly one input, got %d", lhs, len(args))
+		}
+		b.DFF(lhs, args[0])
+		return nil
+	}
+	fn, ok := funcByName[fnName]
+	if !ok {
+		return fmt.Errorf("unknown gate function %q", fnName)
+	}
+	b.Gate(lhs, fn, args...)
+	return nil
+}
+
+func parseDirectiveArg(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	closeIdx := strings.LastIndexByte(line, ')')
+	if open < 0 || closeIdx < open {
+		return "", fmt.Errorf("bad directive %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : closeIdx])
+	if name == "" {
+		return "", fmt.Errorf("empty net name in %q", line)
+	}
+	return name, nil
+}
+
+// ParseFile reads a .bench file; the design name defaults to the file's
+// base name without extension.
+func ParseFile(path string) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".bench")
+	return Parse(f, base)
+}
+
+// Write emits the circuit in .bench syntax: inputs, outputs, then DFFs and
+// gates in node order.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	pis, pos, gates, dffs := c.Counts()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, %d flip-flops\n", pis, pos, gates, dffs)
+	for _, id := range c.PIs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Node(id).Name)
+	}
+	for _, id := range c.POs() {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Node(id).Name)
+	}
+	for i := 0; i < c.NumNodes(); i++ {
+		nd := c.Node(circuit.NodeID(i))
+		switch nd.Kind {
+		case circuit.KindPI:
+			continue
+		case circuit.KindDFF:
+			fmt.Fprintf(bw, "%s = DFF(%s)\n", nd.Name, c.Node(nd.Fanin[0]).Name)
+		case circuit.KindGate:
+			names := make([]string, len(nd.Fanin))
+			for j, f := range nd.Fanin {
+				names[j] = c.Node(f).Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", nd.Name, nameByFunc[nd.Fn], strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the circuit to the given path in .bench syntax.
+func WriteFile(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

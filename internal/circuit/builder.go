@@ -1,0 +1,103 @@
+package circuit
+
+import "fmt"
+
+// Builder assembles a Circuit from name-based declarations that may contain
+// forward references (a gate may read a net declared later, as is normal in
+// netlist files and mandatory for feedback through flip-flops).
+type Builder struct {
+	name    string
+	decls   []decl
+	poNames []string
+	seen    map[string]int // name -> index in decls
+}
+
+type decl struct {
+	name   string
+	kind   Kind
+	fn     Func
+	fanins []string
+}
+
+// NewBuilder returns an empty builder for a design with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, seen: make(map[string]int)}
+}
+
+// PI declares a primary input net.
+func (b *Builder) PI(name string) *Builder {
+	b.decls = append(b.decls, decl{name: name, kind: KindPI})
+	return b
+}
+
+// Gate declares a combinational gate reading the given nets.
+func (b *Builder) Gate(name string, fn Func, fanin ...string) *Builder {
+	b.decls = append(b.decls, decl{name: name, kind: KindGate, fn: fn, fanins: append([]string(nil), fanin...)})
+	return b
+}
+
+// DFF declares a D flip-flop reading net d.
+func (b *Builder) DFF(name, d string) *Builder {
+	b.decls = append(b.decls, decl{name: name, kind: KindDFF, fanins: []string{d}})
+	return b
+}
+
+// PO marks a net as a primary output. The net may be declared before or
+// after this call.
+func (b *Builder) PO(name string) *Builder {
+	b.poNames = append(b.poNames, name)
+	return b
+}
+
+// Build resolves all references and returns a validated Circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	c := New(b.name)
+	// Phase 1: create every node with unresolved fanin so that names exist.
+	for _, d := range b.decls {
+		if d.name == "" {
+			return nil, fmt.Errorf("circuit builder %q: empty net name", b.name)
+		}
+		if _, dup := c.byName[d.name]; dup {
+			return nil, fmt.Errorf("circuit builder %q: duplicate net %q", b.name, d.name)
+		}
+		id := NodeID(len(c.nodes))
+		c.nodes = append(c.nodes, Node{Name: d.name, Kind: d.kind, Fn: d.fn})
+		c.byName[d.name] = id
+		if d.kind == KindPI {
+			c.pis = append(c.pis, id)
+		}
+	}
+	// Phase 2: resolve fanins and build fanouts.
+	for i, d := range b.decls {
+		id := NodeID(i)
+		if len(d.fanins) == 0 {
+			continue
+		}
+		fanin := make([]NodeID, len(d.fanins))
+		for j, fn := range d.fanins {
+			fid, ok := c.byName[fn]
+			if !ok {
+				return nil, fmt.Errorf("circuit builder %q: node %q reads undeclared net %q", b.name, d.name, fn)
+			}
+			fanin[j] = fid
+		}
+		c.nodes[id].Fanin = fanin
+		for _, f := range dedupIDs(fanin) {
+			c.nodes[f].Fanout = append(c.nodes[f].Fanout, id)
+		}
+	}
+	// Phase 3: primary outputs.
+	for _, po := range b.poNames {
+		id, ok := c.byName[po]
+		if !ok {
+			return nil, fmt.Errorf("circuit builder %q: OUTPUT of undeclared net %q", b.name, po)
+		}
+		if err := c.MarkPO(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

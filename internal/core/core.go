@@ -1,0 +1,496 @@
+// Package core implements the paper's contribution: MinObsWin (Algorithm
+// 1), the minimum-observability retiming under error-latching window
+// constraints, together with the Efficient MinObs baseline obtained by
+// disabling the ELW (P2') handling — exactly the reduction Section VI uses
+// for comparison.
+//
+// The algorithm starts from a feasible retiming (Section V initialization,
+// applied by rebasing the graph) and iteratively improves the register
+// observability objective: the weighted regular forest proposes the
+// maximum-gain closed set I = V_P(F); the tentative move (decrease every
+// v ∈ I by its weight w(v)) is checked against P0 (register counts), P1'
+// (setup / clock period via the L labels) and P2' (shortest-path / ELW via
+// the R labels); each violation adds an active constraint to the forest
+// (possibly updating a vertex weight through BreakTree); a clean check
+// commits the move. The algorithm terminates when V_P(F) is empty.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"serretime/internal/elw"
+
+	"serretime/internal/graph"
+)
+
+const eps = 1e-9
+
+// Violation kinds, used both for diagnostics and for the configurable
+// check order (ablation: the paper checks P2', then P0, then P1').
+type Kind uint8
+
+const (
+	// KindP2 is an error-latching-window (shortest path) violation.
+	KindP2 Kind = iota
+	// KindP0 is a negative edge register count.
+	KindP0
+	// KindP1 is a clock period (longest path) violation.
+	KindP1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindP0:
+		return "P0"
+	case KindP1:
+		return "P1'"
+	case KindP2:
+		return "P2'"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Engine selects the data structure maintaining the active constraints
+// and proposing the candidate move set I.
+type Engine uint8
+
+const (
+	// EngineClosure (default) computes the maximum-gain closed set of the
+	// active-constraint digraph exactly every iteration, via the
+	// max-weight-closure min-cut reduction. It matches the exact LP
+	// optimum on the forward-restricted problem.
+	EngineClosure Engine = iota
+	// EngineForest uses the paper's weighted regular forest (Section IV).
+	// Our reconstruction of the forest restructuring rules from the
+	// paper's sketch can over-couple trees and terminate early on rare
+	// structures, so it is kept for fidelity and ablation.
+	EngineForest
+)
+
+// Options configures Minimize.
+type Options struct {
+	// Phi, Ts, Th are the timing parameters of P1'/P2'.
+	Phi, Ts, Th float64
+	// Rmin is the shortest-path bound of P2'.
+	Rmin float64
+	// ELWConstraints enables the P2' handling; disabling it yields the
+	// Efficient MinObs baseline of [17] (Section VI: "commenting out
+	// Line 9-12 and Line 19-21 in Algorithm 1").
+	ELWConstraints bool
+	// CheckOrder permutes the violation checks. The default is P0, P2',
+	// P1' (structural first — see findViolations); the paper's published
+	// order (P2', P0, P1') reaches the same fixpoint and is benchmarked
+	// as an ablation.
+	CheckOrder []Kind
+	// MaxSteps caps the total number of algorithm steps (0 = automatic).
+	MaxSteps int
+	// Engine selects the closed-set machinery.
+	Engine Engine
+	// SingleViolation repairs one violation per iteration, exactly as
+	// Algorithm 1 is written. By default all violations of one tentative
+	// move are batched per iteration (at most one repair per target
+	// vertex), which changes nothing about the fixpoint but avoids a full
+	// timing recomputation per constraint on large circuits.
+	SingleViolation bool
+}
+
+// engine abstracts the closed-set machinery shared by Minimize.
+type engine interface {
+	// PositiveSet returns the candidate move set and a membership mask,
+	// computed exactly (authoritative for termination and commits).
+	PositiveSet() ([]int32, []bool)
+	// PositiveSetFast returns a cheaply-maintained candidate set; the
+	// third result reports whether it is authoritative. A false result
+	// with an empty set only means the cache is invalid.
+	PositiveSetFast() ([]int32, []bool, bool)
+	// Weight returns the current move weight of v.
+	Weight(v int32) int32
+	// SetWeight updates the move weight of q.
+	SetWeight(q int32, w int32) error
+	// AddConstraint records that p's move forces q's.
+	AddConstraint(p, q int32) error
+	// Freeze marks v immovable.
+	Freeze(v int32)
+	// Frozen reports whether v is immovable.
+	Frozen(v int32) bool
+}
+
+// Result reports the outcome of Minimize.
+type Result struct {
+	// R is the resulting retiming of the (rebased) graph; R <= 0
+	// everywhere (forward moves only).
+	R graph.Retiming
+	// Rounds is the number of committed improvement rounds (#J).
+	Rounds int
+	// Steps is the total number of algorithm iterations (tentative moves
+	// checked).
+	Steps int
+	// Objective is Σ_e obsInt(e)·w_r(e), the integer-scaled register
+	// observability after retiming; Initial is its starting value.
+	Objective, Initial int64
+	// Violations counts repaired violations by kind.
+	Violations map[Kind]int
+}
+
+// Gains computes the per-vertex gain b(v) of Section III-C in integer K
+// units: the register-observability reduction obtained by moving one
+// register from every fanin edge of v to every fanout edge.
+//
+//	b(v) = Σ_{e ∈ In(v)} round(K·edgeObs(e)) − outdeg(v)·round(K·obs(v))
+//
+// (The paper's formula sums obs of the fanout gates; eq. (5) makes clear a
+// register on (v,x) carries obs(v), so we read that as a typo — see
+// DESIGN.md. GainsLiteral implements the literal formula for ablation.)
+func Gains(g *graph.Graph, gateObs, edgeObs []float64, k int) ([]int64, []int64, error) {
+	if len(gateObs) != g.NumVertices() || len(edgeObs) != g.NumEdges() {
+		return nil, nil, fmt.Errorf("core: obs length mismatch")
+	}
+	obsInt := make([]int64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		obsInt[e] = int64(math.Round(float64(k) * edgeObs[e]))
+	}
+	gains := make([]int64, g.NumVertices())
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.To != graph.Host {
+			gains[ed.To] += obsInt[e]
+		}
+		if ed.From != graph.Host {
+			gains[ed.From] -= obsInt[e]
+		}
+	}
+	gains[graph.Host] = 0
+	return gains, obsInt, nil
+}
+
+// GainsLiteral computes b(v) with the paper's literal formula
+// K(Σ_in obs(u) − Σ_out obs(x)), crediting fanout-gate observabilities.
+func GainsLiteral(g *graph.Graph, gateObs, edgeObs []float64, k int) ([]int64, []int64, error) {
+	if len(gateObs) != g.NumVertices() || len(edgeObs) != g.NumEdges() {
+		return nil, nil, fmt.Errorf("core: obs length mismatch")
+	}
+	obsInt := make([]int64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		obsInt[e] = int64(math.Round(float64(k) * edgeObs[e]))
+	}
+	gains := make([]int64, g.NumVertices())
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.To != graph.Host {
+			gains[ed.To] += obsInt[e]
+			if ed.From != graph.Host {
+				gains[ed.From] -= int64(math.Round(float64(k) * gateObs[ed.To]))
+			}
+		} else if ed.From != graph.Host {
+			// Fanout is the environment; charge the driver's own
+			// observability (a boundary register still has obs(u)).
+			gains[ed.From] -= obsInt[e]
+		}
+	}
+	gains[graph.Host] = 0
+	return gains, obsInt, nil
+}
+
+// Objective evaluates Σ_e obsInt(e)·w_r(e).
+func Objective(g *graph.Graph, r graph.Retiming, obsInt []int64) int64 {
+	var s int64
+	for e := 0; e < g.NumEdges(); e++ {
+		s += obsInt[e] * int64(g.WR(graph.EdgeID(e), r))
+	}
+	return s
+}
+
+type violation struct {
+	kind Kind
+	p, q graph.VertexID
+	w    int32 // additional movement required of q
+}
+
+// Minimize runs Algorithm 1 on g (already rebased to the Section V
+// initialization) with per-vertex gains (from Gains) and per-edge integer
+// observabilities obsInt.
+func Minimize(g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Result, error) {
+	if len(gains) != g.NumVertices() {
+		return nil, fmt.Errorf("core: gains length mismatch")
+	}
+	if len(obsInt) != g.NumEdges() {
+		return nil, fmt.Errorf("core: obsInt length mismatch")
+	}
+	if opt.Phi <= 0 {
+		return nil, fmt.Errorf("core: clock period %g", opt.Phi)
+	}
+	order := opt.CheckOrder
+	if len(order) == 0 {
+		// Default order puts the structural P0 check first: during long
+		// constraint-discovery cascades this avoids recomputing the
+		// timing labels entirely (checks stop at the first kind that
+		// fires). Algorithm 1's published order (P2', P0, P1') is
+		// available through CheckOrder and benchmarked as an ablation;
+		// both reach the same fixpoint (see TestCheckOrderInvariance).
+		order = []Kind{KindP0, KindP2, KindP1}
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 80*g.NumVertices() + 2000
+	}
+	params := elw.Params{Phi: opt.Phi, Ts: opt.Ts, Th: opt.Th}
+
+	res := &Result{
+		R:          graph.NewRetiming(g),
+		Violations: map[Kind]int{},
+	}
+	res.Initial = Objective(g, res.R, obsInt)
+
+	newEngine := func() (engine, error) {
+		var e engine
+		switch opt.Engine {
+		case EngineForest:
+			fe, err := newForestEngine(g.NumVertices(), gains)
+			if err != nil {
+				return nil, err
+			}
+			e = fe
+		default:
+			e = newClosureEngine(g.NumVertices(), gains)
+		}
+		e.Freeze(int32(graph.Host))
+		return e, nil
+	}
+	eng, err := newEngine()
+	if err != nil {
+		return nil, err
+	}
+
+	rTent := graph.NewRetiming(g)
+	maskSnap := make([]bool, g.NumVertices())
+	needExact := true
+	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
+		var members []int32
+		var mask []bool
+		exact := false
+		if needExact {
+			ExactCalls++
+			members, mask = eng.PositiveSet()
+			exact = true
+			needExact = false
+		} else {
+			members, mask, exact = eng.PositiveSetFast()
+			if mask == nil {
+				needExact = true
+				continue
+			}
+		}
+		if len(members) == 0 {
+			if exact {
+				break // optimal: no positive closed set remains
+			}
+			needExact = true
+			continue
+		}
+		// Tentative move. The mask is snapshotted: repairs may extend the
+		// engine's cached set mid-batch, but the bookkeeping must reflect
+		// what actually moved in THIS tentative.
+		copy(rTent, res.R)
+		copy(maskSnap, mask)
+		for _, v := range members {
+			rTent[v] -= eng.Weight(v)
+		}
+		limit := 0
+		if opt.SingleViolation {
+			limit = 1
+		}
+		viols, err := findViolations(g, rTent, maskSnap, params, opt, order, limit)
+		if err != nil {
+			return nil, err
+		}
+		if len(viols) == 0 {
+			if !exact {
+				// Clean, but the set may not be maximal: recompute the
+				// exact closure before committing.
+				needExact = true
+				continue
+			}
+			// Commit and start a fresh round.
+			copy(res.R, rTent)
+			res.Rounds++
+			if eng, err = newEngine(); err != nil {
+				return nil, err
+			}
+			needExact = true
+			continue
+		}
+		for _, v := range viols {
+			res.Violations[v.kind]++
+			if err := repair(eng, v, maskSnap); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res.Steps >= maxSteps {
+		return nil, fmt.Errorf("core: step cap %d exceeded (possible oscillation)", maxSteps)
+	}
+	res.Objective = Objective(g, res.R, obsInt)
+	if err := g.CheckLegal(res.R); err != nil {
+		return nil, fmt.Errorf("core: result illegal: %w", err)
+	}
+	return res, nil
+}
+
+// repair integrates one violation into the engine: update q's required
+// total movement if it changed (the forest engine runs BreakTree first,
+// per Figure 3), then record the constraint (p, q) when p is moving.
+func repair(eng engine, v *violation, inI []bool) error {
+	q := int32(v.q)
+	if eng.Frozen(q) {
+		// q cannot move at all: freeze p's tree by linking.
+		if !inI[v.p] {
+			return fmt.Errorf("core: %v violation anchored at idle vertex %d", v.kind, v.p)
+		}
+		return eng.AddConstraint(int32(v.p), q)
+	}
+	cur := eng.Weight(q)
+	required := v.w
+	if inI[v.q] {
+		required += cur
+	}
+	if required != cur {
+		if err := eng.SetWeight(q, required); err != nil {
+			return err
+		}
+	}
+	if inI[v.p] && v.p != v.q {
+		return eng.AddConstraint(int32(v.p), q)
+	}
+	if !inI[v.p] && !inI[v.q] && required == cur {
+		return fmt.Errorf("core: %v violation with no moving endpoint (p=%d q=%d)", v.kind, v.p, v.q)
+	}
+	return nil
+}
+
+// findViolations checks the tentative retiming in the configured order
+// and returns violations, at most one per target vertex q (repairs to the
+// same vertex must be observed sequentially — see Figure 3's weight
+// updates). limit > 0 caps the count (1 reproduces Algorithm 1 verbatim);
+// an empty result means the move is clean.
+func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Params, opt Options, order []Kind, limit int) ([]*violation, error) {
+	var lab *elw.Labels
+	labels := func() (*elw.Labels, error) {
+		if lab != nil {
+			return lab, nil
+		}
+		var err error
+		lab, err = elw.ComputeLabels(g, rt, params)
+		return lab, err
+	}
+	var out []*violation
+	seenQ := make(map[graph.VertexID]bool)
+	add := func(v *violation) bool {
+		if seenQ[v.q] {
+			return false
+		}
+		seenQ[v.q] = true
+		out = append(out, v)
+		return limit > 0 && len(out) >= limit
+	}
+	for _, k := range order {
+		if len(out) > 0 {
+			// Repair one kind of violation per iteration: later kinds are
+			// checked once the earlier ones are clean (cheap structural
+			// checks gate the expensive timing-label checks).
+			break
+		}
+		switch k {
+		case KindP0:
+			for e := 0; e < g.NumEdges(); e++ {
+				eid := graph.EdgeID(e)
+				if w := g.WR(eid, rt); w < 0 {
+					ed := g.Edge(eid)
+					if !inI[ed.To] {
+						return nil, fmt.Errorf("core: P0 violation on edge %d without mover", e)
+					}
+					if add(&violation{kind: KindP0, p: ed.To, q: ed.From, w: -w}) {
+						return out, nil
+					}
+				}
+			}
+		case KindP1:
+			lb, err := labels()
+			if err != nil {
+				return nil, err
+			}
+			for u := 1; u < g.NumVertices(); u++ {
+				uid := graph.VertexID(u)
+				if !lb.HasWindow[u] || lb.L[u] >= g.Delay(uid)-eps {
+					continue
+				}
+				z := lb.LT[u]
+				if z == uid || !inI[z] {
+					return nil, fmt.Errorf("core: P1' violation at %s with endpoint %s outside I (Phi too tight?)",
+						g.Name(uid), g.Name(z))
+				}
+				if add(&violation{kind: KindP1, p: z, q: uid, w: 1}) {
+					return out, nil
+				}
+			}
+		case KindP2:
+			if !opt.ELWConstraints {
+				continue
+			}
+			lb, err := labels()
+			if err != nil {
+				return nil, err
+			}
+			for e := 0; e < g.NumEdges(); e++ {
+				eid := graph.EdgeID(e)
+				ed := g.Edge(eid)
+				if ed.To == graph.Host || g.WR(eid, rt) <= 0 || !lb.HasWindow[ed.To] {
+					continue
+				}
+				if lb.HoldSlack(g, params, eid) >= opt.Rmin-eps {
+					continue
+				}
+				// The critical shortest path from ed.To ends at z, whose
+				// registered (or environment) fanout pins R. The anchor p
+				// is whichever end of the shortened path actually moved:
+				// the source that pushed the launching register forward
+				// (the paper's Figure 2(c)), or z itself when its own move
+				// created the pinning register.
+				z := lb.RT[ed.To]
+				q, w, err := drainTarget(g, rt, z)
+				if err != nil {
+					return nil, err
+				}
+				p := ed.From
+				if !inI[p] && inI[z] {
+					p = z
+				}
+				if add(&violation{kind: KindP2, p: p, q: q, w: w}) {
+					return out, nil
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// drainTarget picks the fanout edge of z that pins its R label and returns
+// the vertex that must absorb its registers (the host if the pin is a
+// primary output, which freezes the tree — the paper's b18 behavior).
+func drainTarget(g *graph.Graph, rt graph.Retiming, z graph.VertexID) (graph.VertexID, int32, error) {
+	var hostPin bool
+	for _, eid := range g.Out(z) {
+		e := g.Edge(eid)
+		if e.To == graph.Host {
+			hostPin = true
+			continue
+		}
+		if w := g.WR(eid, rt); w > 0 {
+			return e.To, w, nil
+		}
+	}
+	if hostPin {
+		return graph.Host, 0, nil
+	}
+	return 0, 0, fmt.Errorf("core: P2' endpoint %s has no pinning fanout", g.Name(z))
+}

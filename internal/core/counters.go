@@ -1,0 +1,4 @@
+package core
+
+// ExactCalls is a test-only counter of exact closure computations.
+var ExactCalls int

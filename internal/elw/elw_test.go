@@ -1,0 +1,371 @@
+package elw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"serretime/internal/graph"
+	"serretime/internal/interval"
+)
+
+// chain builds host -1-> A(d=2) -0-> B(d=3) -0-> host.
+func chain() (*graph.Graph, graph.VertexID, graph.VertexID) {
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 2)
+	bb := b.AddVertex("B", 3)
+	b.AddEdge(graph.Host, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, graph.Host, 0)
+	return b.Build(), a, bb
+}
+
+func TestExactChain(t *testing.T) {
+	g, a, bb := chain()
+	p := DefaultParams(10)
+	elws, err := Exact(g, graph.NewRetiming(g), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !elws[bb].Equal(interval.Single(10, 12)) {
+		t.Fatalf("ELW(B) = %v", elws[bb])
+	}
+	if !elws[a].Equal(interval.Single(7, 9)) {
+		t.Fatalf("ELW(A) = %v", elws[a])
+	}
+	if !elws[graph.Host].Empty() {
+		t.Fatal("host has a window")
+	}
+}
+
+func TestLabelsChain(t *testing.T) {
+	g, a, bb := chain()
+	p := DefaultParams(10)
+	lab, err := ComputeLabels(g, graph.NewRetiming(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.L[bb] != 10 || lab.R[bb] != 12 || lab.LT[bb] != bb || lab.RT[bb] != bb {
+		t.Fatalf("labels(B) = L%g R%g lt%d rt%d", lab.L[bb], lab.R[bb], lab.LT[bb], lab.RT[bb])
+	}
+	if lab.L[a] != 7 || lab.R[a] != 9 || lab.LT[a] != bb || lab.RT[a] != bb {
+		t.Fatalf("labels(A) = L%g R%g lt%d rt%d", lab.L[a], lab.R[a], lab.LT[a], lab.RT[a])
+	}
+	if v, ok := lab.CheckP1(g); !ok {
+		t.Fatalf("P1 violated at %s", g.Name(v))
+	}
+}
+
+// fanouts builds A feeding B (d=3) and C (d=5), both driving POs.
+func fanouts() (*graph.Graph, graph.VertexID, graph.VertexID, graph.VertexID) {
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 1)
+	bb := b.AddVertex("B", 3)
+	c := b.AddVertex("C", 5)
+	b.AddEdge(graph.Host, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(bb, graph.Host, 0)
+	b.AddEdge(c, graph.Host, 0)
+	return b.Build(), a, bb, c
+}
+
+func TestExactUnion(t *testing.T) {
+	g, a, _, _ := fanouts()
+	p := DefaultParams(10)
+	elws, err := Exact(g, graph.NewRetiming(g), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [7,9] ∪ [5,7] = [5,9].
+	if !elws[a].Equal(interval.Single(5, 9)) {
+		t.Fatalf("ELW(A) = %v", elws[a])
+	}
+	if elws[a].Measure() != 4 {
+		t.Fatalf("|ELW(A)| = %g", elws[a].Measure())
+	}
+}
+
+func TestExactDisjointUnion(t *testing.T) {
+	// Delays far apart produce a two-interval window.
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 1)
+	bb := b.AddVertex("B", 1)
+	c := b.AddVertex("C", 8)
+	b.AddEdge(graph.Host, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(a, c, 0)
+	b.AddEdge(bb, graph.Host, 0)
+	b.AddEdge(c, graph.Host, 0)
+	g := b.Build()
+	p := DefaultParams(20)
+	elws, err := Exact(g, graph.NewRetiming(g), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Via B: [19,21]; via C: [12,14].
+	want := interval.MustNew(interval.Interval{L: 12, R: 14}, interval.Interval{L: 19, R: 21})
+	if !elws[a].Equal(want) {
+		t.Fatalf("ELW(A) = %v, want %v", elws[a], want)
+	}
+	// Coalescing to one interval over-approximates.
+	elws1, err := Exact(g, graph.NewRetiming(g), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elws1[a].Count() != 1 {
+		t.Fatalf("coalesced count = %d", elws1[a].Count())
+	}
+	if elws1[a].Measure() < elws[a].Measure() {
+		t.Fatal("coalescing lost measure")
+	}
+	if !elws1[a].Intersect(elws[a]).Equal(elws[a]) {
+		t.Fatal("coalesced set does not contain exact set")
+	}
+}
+
+func TestLabelsCriticalEndpoints(t *testing.T) {
+	g, a, bb, c := fanouts()
+	p := DefaultParams(10)
+	lab, err := ComputeLabels(g, graph.NewRetiming(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.LT[a] != c { // L via the longer path through C
+		t.Fatalf("lt(A) = %s", g.Name(lab.LT[a]))
+	}
+	if lab.RT[a] != bb { // R via the shorter path through B
+		t.Fatalf("rt(A) = %s", g.Name(lab.RT[a]))
+	}
+}
+
+func TestRegisteredFanoutPins(t *testing.T) {
+	// A with a registered fanout gets the base window, plus combinational
+	// extension through B.
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 1)
+	bb := b.AddVertex("B", 3)
+	c := b.AddVertex("C", 1)
+	b.AddEdge(graph.Host, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(a, c, 1) // registered fanout
+	b.AddEdge(bb, graph.Host, 0)
+	b.AddEdge(c, graph.Host, 0)
+	g := b.Build()
+	p := DefaultParams(10)
+	elws, err := Exact(g, graph.NewRetiming(g), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base [10,12] ∪ via B [7,9].
+	want := interval.MustNew(interval.Interval{L: 7, R: 9}, interval.Interval{L: 10, R: 12})
+	if !elws[a].Equal(want) {
+		t.Fatalf("ELW(A) = %v", elws[a])
+	}
+	lab, err := ComputeLabels(g, graph.NewRetiming(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.L[a] != 7 || lab.R[a] != 12 {
+		t.Fatalf("L/R(A) = %g/%g", lab.L[a], lab.R[a])
+	}
+	if lab.LT[a] != bb || lab.RT[a] != a {
+		t.Fatal("critical endpoints wrong")
+	}
+}
+
+func TestP1Violation(t *testing.T) {
+	// Path delay 9 > Φ−Ts = 8 at A.
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 4)
+	bb := b.AddVertex("B", 5)
+	b.AddEdge(graph.Host, a, 1)
+	b.AddEdge(a, bb, 0)
+	b.AddEdge(bb, graph.Host, 0)
+	g := b.Build()
+	p := DefaultParams(8)
+	lab, err := ComputeLabels(g, graph.NewRetiming(g), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L(A) = 8 - 5 = 3 < d(A) = 4.
+	v, ok := lab.CheckP1(g)
+	if ok || v != a {
+		t.Fatalf("P1 check: v=%d ok=%v", v, ok)
+	}
+}
+
+func TestP2ViolationAndHoldSlack(t *testing.T) {
+	// Registered edge into B with a very short path to the next register.
+	b := graph.NewBuilder()
+	a := b.AddVertex("A", 2)
+	bb := b.AddVertex("B", 1)
+	b.AddEdge(graph.Host, a, 0)
+	b.AddEdge(a, bb, 1)
+	b.AddEdge(bb, graph.Host, 1)
+	g := b.Build()
+	p := DefaultParams(10)
+	r := graph.NewRetiming(g)
+	lab, err := ComputeLabels(g, r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R(B) = 12 (registered fanout to host), so the register on A->B
+	// launches a path of length d(B) + Φ+Th − R(B) = 1.
+	slack, found := lab.MinHoldSlack(g, r, p)
+	if !found || slack != 1 {
+		t.Fatalf("hold slack = %g found=%v", slack, found)
+	}
+	if _, ok := lab.CheckP2(g, r, p, 1); !ok {
+		t.Fatal("P2 with rmin=1 must hold")
+	}
+	eid, ok := lab.CheckP2(g, r, p, 2.0)
+	if ok {
+		t.Fatal("P2 with rmin=2 must fail")
+	}
+	if g.Edge(eid).To != bb {
+		t.Fatalf("violating edge = %v", g.Edge(eid))
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	g, _, _ := chain()
+	if _, err := Exact(g, graph.NewRetiming(g), Params{Phi: -1}, 0); err == nil {
+		t.Fatal("negative phi accepted")
+	}
+	if _, err := ComputeLabels(g, graph.NewRetiming(g), Params{Phi: 1, Ts: -1}); err == nil {
+		t.Fatal("negative Ts accepted")
+	}
+}
+
+func TestRegisterWindows(t *testing.T) {
+	g, a, bb := chain()
+	_ = a
+	p := DefaultParams(10)
+	r := graph.NewRetiming(g)
+	elws, _ := Exact(g, r, p, 0)
+	rw := RegisterWindows(g, r, p, elws)
+	// Edge 0 = host->A with w=1: register feeds A (d=2), ELW(A)−d(A) = [5,7].
+	if !rw[0].Equal(interval.Single(5, 7)) {
+		t.Fatalf("register window = %v", rw[0])
+	}
+	// Unregistered edges have empty windows.
+	if !rw[1].Empty() {
+		t.Fatal("unregistered edge got a window")
+	}
+	if !DeepWindow(p).Equal(interval.Single(10, 12)) {
+		t.Fatal("deep window wrong")
+	}
+	_ = bb
+}
+
+// randomGraph builds a random layered synchronous graph: forward edges may
+// be combinational, feedback edges always carry registers.
+func randomGraph(r *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder()
+	vs := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		vs[i] = b.AddVertex("v", 1+float64(r.Intn(5)))
+	}
+	b.AddEdge(graph.Host, vs[0], int32(r.Intn(2)))
+	for i := 1; i < n; i++ {
+		// At least one in-edge from an earlier vertex.
+		j := r.Intn(i)
+		b.AddEdge(vs[j], vs[i], int32(r.Intn(2)))
+		if r.Intn(2) == 0 {
+			k := r.Intn(i)
+			b.AddEdge(vs[k], vs[i], int32(r.Intn(3)))
+		}
+		if r.Intn(4) == 0 {
+			b.AddEdge(vs[i], vs[r.Intn(i+1)], 1+int32(r.Intn(2))) // feedback
+		}
+	}
+	b.AddEdge(vs[n-1], graph.Host, 0)
+	b.AddEdge(vs[r.Intn(n)], graph.Host, int32(r.Intn(2)))
+	return b.Build()
+}
+
+func TestPropertyTheorem1(t *testing.T) {
+	// L(v) and R(v) are the extreme boundaries of the exact ELW, and the
+	// window measure is bounded by R − L.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 3+r.Intn(20))
+		if g.Check() != nil {
+			return true // rare degenerate structure: skip
+		}
+		p := DefaultParams(50 + float64(r.Intn(50)))
+		rt := graph.NewRetiming(g)
+		elws, err := Exact(g, rt, p, 0)
+		if err != nil {
+			return false
+		}
+		lab, err := ComputeLabels(g, rt, p)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		for v := 1; v < g.NumVertices(); v++ {
+			if elws[v].Empty() {
+				if lab.HasWindow[v] {
+					return false
+				}
+				continue
+			}
+			if !lab.HasWindow[v] {
+				return false
+			}
+			if math.Abs(elws[v].Min()-lab.L[v]) > eps {
+				return false
+			}
+			if math.Abs(elws[v].Max()-lab.R[v]) > eps {
+				return false
+			}
+			if elws[v].Measure() > lab.R[v]-lab.L[v]+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRetimingShiftsWindows(t *testing.T) {
+	// Any legal retiming keeps all windows inside [−TotalDelay, Φ+Th].
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 3+r.Intn(15))
+		if g.Check() != nil {
+			return true
+		}
+		p := DefaultParams(100)
+		rt := graph.NewRetiming(g)
+		// Random legal forward moves.
+		for tries := 0; tries < 5; tries++ {
+			v := graph.VertexID(1 + r.Intn(g.NumGates()))
+			rt[v]--
+			if g.CheckLegal(rt) != nil {
+				rt[v]++
+			}
+		}
+		elws, err := Exact(g, rt, p, 0)
+		if err != nil {
+			return true // retiming may create zero-weight cycles; skip
+		}
+		for v := 1; v < g.NumVertices(); v++ {
+			if elws[v].Empty() {
+				continue
+			}
+			if elws[v].Max() > p.Phi+p.Th+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, gains []int64) *Forest {
+	t.Helper()
+	f, err := New(len(gains), gains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewSingletons(t *testing.T) {
+	f := mustNew(t, []int64{5, -3, 0})
+	if f.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+	members, mask := f.PositiveSet()
+	if len(members) != 1 || members[0] != 0 || !mask[0] || mask[1] {
+		t.Fatalf("positive set = %v", members)
+	}
+	if !f.IsSingleton(1) || f.Weight(1) != 1 || f.Gain(1) != -3 {
+		t.Fatal("singleton state wrong")
+	}
+	if _, err := New(2, []int64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLinkBaggage(t *testing.T) {
+	// Positive vertex 0 must drag non-positive 1: tree gain 5-3 = 2 > 0.
+	f := mustNew(t, []int64{5, -3})
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := f.PositiveSet()
+	if len(members) != 2 {
+		t.Fatalf("positive set = %v", members)
+	}
+	if !f.SameTree(0, 1) {
+		t.Fatal("not same tree")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkKillsTree(t *testing.T) {
+	// 5 - 10 < 0: the merged tree is non-positive; nobody moves.
+	f := mustNew(t, []int64{5, -10})
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := f.PositiveSet()
+	if len(members) != 0 {
+		t.Fatalf("positive set = %v", members)
+	}
+}
+
+func TestEnforceCutsPositiveBaggage(t *testing.T) {
+	// Linking a positive q as baggage is immediately cut by regularity:
+	// q moves on its own, so the constraint is vacuous.
+	f := mustNew(t, []int64{5, 7})
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.SameTree(0, 1) {
+		t.Fatal("positive baggage not cut")
+	}
+	members, _ := f.PositiveSet()
+	if len(members) != 2 {
+		t.Fatalf("positive set = %v", members)
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	f := mustNew(t, []int64{5, 0})
+	f.Freeze(1)
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := f.PositiveSet()
+	if len(members) != 0 {
+		t.Fatal("frozen tree still positive")
+	}
+	if !f.Frozen(1) || f.Frozen(0) {
+		t.Fatal("frozen flags wrong")
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	f := mustNew(t, []int64{5, -2})
+	if err := f.SetWeight(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Gain of 1's tree is now -6; linking drops 0's tree to -1.
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := f.PositiveSet()
+	if len(members) != 0 {
+		t.Fatalf("positive set = %v", members)
+	}
+	if err := f.SetWeight(1, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := f.SetWeight(1, 2); err == nil {
+		t.Fatal("SetWeight on non-singleton accepted")
+	}
+}
+
+// TestFigure3 reproduces the paper's Figure 3: x (positive) pulls y; later
+// u (positive) needs y with a larger weight, forcing BreakTree(y) and a
+// re-link with the updated weight.
+func TestFigure3(t *testing.T) {
+	// Gains: u=+4, x=+3, y=-1.
+	const (
+		u = 0
+		x = 1
+		y = 2
+	)
+	f := mustNew(t, []int64{4, 3, -1})
+	// (a) x moves, violates P0, bundles y with weight 1.
+	if err := f.Link(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameTree(x, y) {
+		t.Fatal("x-y not linked")
+	}
+	// (b) u's move causes a P2' violation requiring y to move by 2:
+	// BreakTree(y), update weight, link under u.
+	f.Break(y)
+	if !f.IsSingleton(y) {
+		t.Fatal("Break left y attached")
+	}
+	if err := f.SetWeight(y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Link(u, y); err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameTree(u, y) || f.SameTree(x, y) {
+		t.Fatal("relink wrong")
+	}
+	// u's tree gain: 4 + (-1)(2) = 2 > 0; x alone: 3 > 0. All move.
+	members, _ := f.PositiveSet()
+	if len(members) != 3 {
+		t.Fatalf("positive set = %v", members)
+	}
+	if f.Weight(y) != 2 {
+		t.Fatal("weight not updated")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakSplitsComponents(t *testing.T) {
+	// Chain 0 - 1 - 2 (1 in the middle); Break(1) must leave 0 and 2 in
+	// separate trees.
+	f := mustNew(t, []int64{5, -1, -1})
+	if err := f.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Link(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameTree(0, 2) {
+		t.Fatal("chain not linked")
+	}
+	f.Break(1)
+	if f.SameTree(0, 2) || f.SameTree(0, 1) || f.SameTree(1, 2) {
+		t.Fatal("Break did not split components")
+	}
+	if err := f.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfLinkRejected(t *testing.T) {
+	f := mustNew(t, []int64{1})
+	if err := f.Link(0, 0); err == nil {
+		t.Fatal("self link accepted")
+	}
+}
+
+func TestPropertyRandomOpsKeepInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		gains := make([]int64, n)
+		for i := range gains {
+			gains[i] = int64(rng.Intn(21) - 10)
+		}
+		fo, err := New(n, gains)
+		if err != nil {
+			return false
+		}
+		if rng.Intn(3) == 0 {
+			fo.Freeze(int32(rng.Intn(n)))
+		}
+		for op := 0; op < 30; op++ {
+			p := int32(rng.Intn(n))
+			q := int32(rng.Intn(n))
+			switch rng.Intn(4) {
+			case 0, 1:
+				if p != q {
+					fo.Link(p, q)
+				}
+			case 2:
+				fo.Break(q)
+				fo.SetWeight(q, int32(1+rng.Intn(4)))
+			case 3:
+				members, mask := fo.PositiveSet()
+				// Every member's tree must be positive and unfrozen.
+				for _, m := range members {
+					if !fo.TreePositive(m) || fo.Frozen(m) {
+						return false
+					}
+					if !mask[m] {
+						return false
+					}
+				}
+			}
+			if fo.Check() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

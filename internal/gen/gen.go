@@ -1,0 +1,370 @@
+// Package gen synthesizes sequential benchmark circuits with prescribed
+// statistics.
+//
+// The paper evaluates on ISCAS89/ITC99 netlists "obtained from the authors
+// of [20]", which are not redistributable here; this generator substitutes
+// seeded synthetic circuits that reproduce each benchmark's published
+// |V| (gates), |E| (connections), #FF and clock-period regime, with
+// realistic layered structure, fanout distribution and register feedback.
+// The retiming algorithms consume only this structural information, so the
+// synthetic circuits exercise the same code paths at the same scale (see
+// DESIGN.md §4 for the substitution rationale).
+package gen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"serretime/internal/circuit"
+)
+
+// Spec prescribes the statistics of a synthetic circuit.
+type Spec struct {
+	// Name identifies the circuit; it also seeds the generator (same name,
+	// same circuit) unless Seed is nonzero.
+	Name string
+	// Gates is the combinational gate count |V|.
+	Gates int
+	// Conns is the target connection count |E| (gate input pins plus
+	// primary-output nets of the retiming graph).
+	Conns int
+	// FFs is the flip-flop count.
+	FFs int
+	// Depth is the target logic depth (layers of gates); it controls the
+	// clock-period regime. Zero picks a default from the gate count.
+	Depth int
+	// PIs/POs override the primary input/output counts (0 = derived).
+	PIs, POs int
+	// FanoutSkew is the fraction of gate-read pins that pick a random
+	// earlier gate instead of consuming an unused one, creating fanout
+	// hubs and capture paths of diverse lengths (the structure that makes
+	// timing masking sensitive to retiming). Default 0.05; higher values
+	// trade dead-logic coverage for diversity.
+	FanoutSkew float64
+	// Seed overrides the name-derived seed when nonzero.
+	Seed int64
+}
+
+// Validate checks the spec for consistency.
+func (s Spec) Validate() error {
+	if s.Gates < 4 {
+		return fmt.Errorf("gen: %q: need at least 4 gates, have %d", s.Name, s.Gates)
+	}
+	if s.FFs < 1 {
+		return fmt.Errorf("gen: %q: need at least 1 flip-flop", s.Name)
+	}
+	if s.Conns < s.Gates {
+		return fmt.Errorf("gen: %q: %d connections cannot cover %d gates", s.Name, s.Conns, s.Gates)
+	}
+	return nil
+}
+
+func (s Spec) seed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s.Name))
+	return int64(h.Sum64())
+}
+
+// Generate builds the circuit.
+func Generate(s Spec) (*circuit.Circuit, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.seed()))
+
+	depth := s.Depth
+	if depth <= 0 {
+		depth = 20 + s.Gates/400
+		if depth > 120 {
+			depth = 120
+		}
+	}
+	if depth > s.Gates {
+		depth = s.Gates
+	}
+	nPI := s.PIs
+	if nPI <= 0 {
+		nPI = clamp(s.Gates/150, 8, 512)
+	}
+	nPO := s.POs
+	if nPO <= 0 {
+		nPO = clamp(s.Gates/200, 8, 512)
+	}
+
+	b := circuit.NewBuilder(s.Name)
+	pis := make([]string, nPI)
+	for i := range pis {
+		pis[i] = fmt.Sprintf("pi%d", i)
+		b.PI(pis[i])
+	}
+	// Flip-flop outputs are declared up front so early layers can read
+	// them (feedback); their data inputs are wired to gates afterwards.
+	ffs := make([]string, s.FFs)
+	for i := range ffs {
+		ffs[i] = fmt.Sprintf("ff%d", i)
+	}
+
+	// Distribute gates over layers. The first `depth` gates form a spine
+	// (one per layer, chained below) guaranteeing the full logic depth;
+	// the rest are biased toward shallow layers, giving realistic slack:
+	// most paths are short, few are critical.
+	layerOf := make([]int, s.Gates)
+	for i := range layerOf {
+		if i < depth {
+			layerOf[i] = i
+		} else {
+			u := rng.Float64()
+			layerOf[i] = int(float64(depth) * u * u)
+			if layerOf[i] >= depth {
+				layerOf[i] = depth - 1
+			}
+		}
+	}
+	// Gate i may read gates from earlier layers only (plus PIs and FFs),
+	// so sort gates by layer and remember layer boundaries.
+	byLayer := make([][]int, depth)
+	for i, l := range layerOf {
+		byLayer[l] = append(byLayer[l], i)
+	}
+	gateName := make([]string, s.Gates)
+	var ordered []int // gates in layer order
+	for l := 0; l < depth; l++ {
+		for _, i := range byLayer[l] {
+			gateName[i] = fmt.Sprintf("g%d", i)
+			ordered = append(ordered, i)
+		}
+	}
+
+	// Target pins: connections minus the PO nets.
+	targetPins := s.Conns - nPO
+	if targetPins < s.Gates {
+		targetPins = s.Gates
+	}
+	fanout := make([]int, s.Gates) // uses of each gate's output
+	ffRead := make([]bool, s.FFs)
+	unread := make([]int, s.FFs) // queue of not-yet-consumed FFs
+	for i := range unread {
+		unread[i] = i
+	}
+	rng.Shuffle(len(unread), func(i, j int) { unread[i], unread[j] = unread[j], unread[i] })
+	// Probability of a pin reading a flip-flop, tuned so that most FFs
+	// get consumed by logic (leftovers become state-observation outputs).
+	pFF := 1.05 * float64(s.FFs) / float64(targetPins)
+	if pFF > 0.45 {
+		pFF = 0.45
+	}
+	takeFF := func() string {
+		if len(unread) > 0 {
+			i := unread[len(unread)-1]
+			unread = unread[:len(unread)-1]
+			ffRead[i] = true
+			return ffs[i]
+		}
+		return ffs[rng.Intn(s.FFs)]
+	}
+	// Strict layering: a gate reads only gates from earlier layers, so the
+	// logic depth never exceeds the layer count. Coverage pools track
+	// not-yet-consumed gates per layer; real netlists have essentially no
+	// dead logic, so unused outputs must stay rare.
+	earlier := make([]int, 0, s.Gates) // gates in layers < current
+	unusedBy := make([][]int, depth)
+	curLayer := 0
+	layerStart := 0
+	pickUnused := func(l int) int {
+		// Nearest earlier layers first (locality), but scan all the way
+		// down: coverage beats locality, dead logic is unrealistic.
+		for back := 1; back <= l; back++ {
+			pool := unusedBy[l-back]
+			for len(pool) > 0 {
+				i := rng.Intn(len(pool))
+				cand := pool[i]
+				pool[i] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				unusedBy[l-back] = pool
+				if fanout[cand] == 0 {
+					return cand
+				}
+			}
+		}
+		return -1
+	}
+	skew := s.FanoutSkew
+	if skew == 0 {
+		skew = 0.05
+	}
+	pinsLeft := targetPins
+	for idx, gi := range ordered {
+		if l := layerOf[gi]; l != curLayer {
+			for _, gj := range ordered[layerStart:idx] {
+				earlier = append(earlier, gj)
+			}
+			layerStart = idx
+			curLayer = l
+		}
+		gatesLeft := s.Gates - idx
+		// Self-balancing fanin draw: track the remaining pin budget so the
+		// realized connection count lands on the target.
+		need := float64(pinsLeft) / float64(gatesLeft)
+		want := int(need)
+		if rng.Float64() < need-float64(want) {
+			want++
+		}
+		if rng.Float64() > 0.95 && need > 1.4 {
+			want += 1 + rng.Intn(2) // occasional wide gate
+		}
+		if max := pinsLeft - (gatesLeft - 1); want > max {
+			want = max
+		}
+		if want < 1 {
+			want = 1
+		}
+		pinsLeft -= want
+
+		fanin := make([]string, want)
+		for p := 0; p < want; p++ {
+			// The spine: pin 0 of each layer's first gate reads the
+			// previous layer, guaranteeing a critical chain of the full
+			// depth.
+			if p == 0 && gi < depth && layerOf[gi] > 0 {
+				// Spine gate i sits at layer i and reads spine gate i-1:
+				// the chain realizes the full target depth.
+				fanin[p] = gateName[gi-1]
+				fanout[gi-1]++
+				continue
+			}
+			switch r := rng.Float64(); {
+			case r < pFF:
+				fanin[p] = takeFF()
+			case layerOf[gi] == 0 || r < pFF+0.04 || len(earlier) == 0:
+				// PIs feed the first layer and a slice of later pins.
+				fanin[p] = pis[rng.Intn(nPI)]
+			default:
+				// Coverage first: consume a not-yet-used gate from a
+				// recent earlier layer, falling back to a random earlier
+				// gate (reconvergence / fanout > 1).
+				src := -1
+				if rng.Float64() >= skew {
+					src = pickUnused(curLayer)
+				}
+				if src < 0 {
+					if rng.Float64() < 0.8 {
+						lo := len(earlier) * 3 / 4
+						src = earlier[lo+rng.Intn(len(earlier)-lo)]
+					} else {
+						src = earlier[rng.Intn(len(earlier))]
+					}
+				}
+				fanin[p] = gateName[src]
+				fanout[src]++
+			}
+		}
+		b.Gate(gateName[gi], pickFunc(rng, len(fanin)), fanin...)
+		unusedBy[curLayer] = append(unusedBy[curLayer], gi)
+	}
+
+	// Wire flip-flop inputs to distinct gates across all layers, so every
+	// region of the logic sits near an observation point (as in real
+	// netlists, where state registers are interleaved with logic).
+	// Unconsumed gates go first — registers are how logic cones terminate
+	// — which also keeps the primary-output count realistic. Once drivers
+	// run out, the remaining flip-flops chain (shift registers).
+	drivers := make([]int, 0, len(ordered))
+	var used []int
+	for i := len(ordered) - 1; i >= 0; i-- {
+		if fanout[ordered[i]] == 0 {
+			drivers = append(drivers, ordered[i])
+		} else {
+			used = append(used, ordered[i])
+		}
+	}
+	rng.Shuffle(len(drivers), func(i, j int) { drivers[i], drivers[j] = drivers[j], drivers[i] })
+	rng.Shuffle(len(used), func(i, j int) { used[i], used[j] = used[j], used[i] })
+	drivers = append(drivers, used...)
+	for i := range ffs {
+		if i < len(drivers) {
+			b.DFF(ffs[i], gateName[drivers[i]])
+			fanout[drivers[i]]++
+		} else {
+			b.DFF(ffs[i], ffs[i-len(drivers)])
+			ffRead[i-len(drivers)] = true // consumed by the chain
+		}
+	}
+
+	// Primary outputs: deep, otherwise-unused gates first; then random
+	// deep gates until the PO budget is met; finally every remaining
+	// unused output (no dangling logic). Order is kept deterministic.
+	poSet := make(map[string]bool)
+	var pos []string
+	addPO := func(name string) {
+		if !poSet[name] {
+			poSet[name] = true
+			pos = append(pos, name)
+		}
+	}
+	for i := len(ordered) - 1; i >= 0 && len(pos) < nPO; i-- {
+		if gi := ordered[i]; fanout[gi] == 0 {
+			addPO(gateName[gi])
+		}
+	}
+	for tries := 0; len(pos) < nPO && tries < 10*nPO; tries++ {
+		addPO(gateName[ordered[len(ordered)-1-rng.Intn(len(ordered)/2+1)]])
+	}
+	for _, gi := range ordered {
+		if fanout[gi] == 0 {
+			addPO(gateName[gi])
+		}
+	}
+	// Flip-flops nothing reads become state-observation outputs, keeping
+	// their registers alive in the retiming graph.
+	for i, read := range ffRead {
+		if !read {
+			addPO(ffs[i])
+		}
+	}
+	for _, name := range pos {
+		b.PO(name)
+	}
+
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: %q: %w", s.Name, err)
+	}
+	return c, nil
+}
+
+func pickFunc(rng *rand.Rand, fanin int) circuit.Func {
+	if fanin == 1 {
+		if rng.Intn(3) == 0 {
+			return circuit.FnBuf
+		}
+		return circuit.FnNot
+	}
+	switch rng.Intn(20) {
+	case 0:
+		return circuit.FnXor
+	case 1:
+		return circuit.FnXnor
+	case 2, 3, 4:
+		return circuit.FnAnd
+	case 5, 6, 7:
+		return circuit.FnOr
+	case 8, 9, 10, 11, 12, 13:
+		return circuit.FnNor
+	default:
+		return circuit.FnNand
+	}
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

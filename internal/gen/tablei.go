@@ -1,0 +1,96 @@
+package gen
+
+import "fmt"
+
+// TableISpec describes one row of the paper's Table I: the circuit
+// statistics published for the ISCAS89/ITC99 benchmarks, used to
+// parameterize the synthetic substitutes, plus the paper's reported
+// numbers for EXPERIMENTS.md comparisons.
+type TableISpec struct {
+	Spec
+	// PaperPhi is the clock period constraint Φ reported in Table I.
+	PaperPhi float64
+	// PaperSER is the original circuit's SER reported in Table I.
+	PaperSER float64
+	// PaperDSERRef / PaperDSERNew are the relative SER changes (%) of
+	// Efficient MinObs and MinObsWin.
+	PaperDSERRef, PaperDSERNew float64
+	// PaperDFFRef / PaperDFFNew are the register count changes (%).
+	PaperDFFRef, PaperDFFNew float64
+	// PaperRatio is SER_ref/SER_new (%).
+	PaperRatio float64
+	// PaperJ is the reported iteration count of MinObsWin.
+	PaperJ int
+}
+
+// TableI lists the 21 circuits of the paper's Table I. Depth is derived
+// from the published Φ and the circuit's average fanin (see spec), so the
+// synthetic substitute reproduces the clock-period regime.
+var TableI = []TableISpec{
+	{Spec: spec("s13207", 7952, 10896, 1508, 117), PaperPhi: 117, PaperSER: 7.72e-3, PaperDFFRef: -43.56, PaperDSERRef: -23.14, PaperDFFNew: -24.53, PaperDSERNew: -47.02, PaperRatio: 122, PaperJ: 2},
+	{Spec: spec("s15850.1", 9773, 13566, 1567, 111), PaperPhi: 111, PaperSER: 9.77e-3, PaperDFFRef: -54.05, PaperDSERRef: -31.71, PaperDFFNew: -54.05, PaperDSERNew: -31.71, PaperRatio: 100, PaperJ: 9},
+	{Spec: spec("s35932", 16066, 28588, 5814, 145), PaperPhi: 145, PaperSER: 2.42e-2, PaperDFFRef: -45.37, PaperDSERRef: -35.45, PaperDFFNew: -34.76, PaperDSERNew: -66.75, PaperRatio: 194, PaperJ: 4},
+	{Spec: spec("s38417", 22180, 31127, 2806, 81), PaperPhi: 81, PaperSER: 1.59e-2, PaperDFFRef: 11.51, PaperDSERRef: 2.92, PaperDFFNew: 13.61, PaperDSERNew: -8.62, PaperRatio: 113, PaperJ: 4},
+	{Spec: spec("s38584.1", 19254, 33060, 7371, 262), PaperPhi: 262, PaperSER: 2.48e-2, PaperDFFRef: -32.33, PaperDSERRef: -33.23, PaperDFFNew: -31.96, PaperDSERNew: -41.96, PaperRatio: 115, PaperJ: 3},
+	{Spec: spec("b14_1_opt", 4049, 9036, 2382, 112), PaperPhi: 112, PaperSER: 9.15e-3, PaperDFFRef: -64.02, PaperDSERRef: -12.89, PaperDFFNew: -64.02, PaperDSERNew: -32.89, PaperRatio: 130, PaperJ: 5},
+	{Spec: spec("b14_opt", 5348, 11849, 2041, 135), PaperPhi: 135, PaperSER: 9.75e-3, PaperDFFRef: -57.76, PaperDSERRef: -26.71, PaperDFFNew: -50.05, PaperDSERNew: -6.67, PaperRatio: 79, PaperJ: 2},
+	{Spec: spec("b15_1_opt", 7421, 16946, 2798, 158), PaperPhi: 158, PaperSER: 1.25e-2, PaperDFFRef: -36.88, PaperDSERRef: -24.58, PaperDFFNew: -33.84, PaperDSERNew: -37.12, PaperRatio: 120, PaperJ: 5},
+	{Spec: spec("b15_opt", 7023, 15856, 2415, 195), PaperPhi: 195, PaperSER: 1.35e-2, PaperDFFRef: -46.17, PaperDSERRef: -26.97, PaperDFFNew: -43.22, PaperDSERNew: -45.74, PaperRatio: 135, PaperJ: 4},
+	{Spec: spec("b17_1_opt", 23026, 52376, 8791, 192), PaperPhi: 192, PaperSER: 3.92e-2, PaperDFFRef: -27.64, PaperDSERRef: -12.64, PaperDFFNew: -37.58, PaperDSERNew: -36.34, PaperRatio: 137, PaperJ: 5},
+	{Spec: spec("b17_opt", 22758, 51622, 7787, 266), PaperPhi: 266, PaperSER: 3.42e-2, PaperDFFRef: -23.75, PaperDSERRef: -28.13, PaperDFFNew: -19.09, PaperDSERNew: -45.94, PaperRatio: 133, PaperJ: 6},
+	{Spec: spec("b18_1_opt", 68282, 151746, 21027, 251), PaperPhi: 251, PaperSER: 9.42e-2, PaperDFFRef: -30.92, PaperDSERRef: -28.51, PaperDFFNew: -0.05, PaperDSERNew: 0.00, PaperRatio: 71, PaperJ: 1},
+	{Spec: spec("b18_opt", 69914, 155355, 20907, 255), PaperPhi: 255, PaperSER: 9.56e-2, PaperDFFRef: -30.92, PaperDSERRef: -32.92, PaperDFFNew: 0.00, PaperDSERNew: 0.00, PaperRatio: 67, PaperJ: 1},
+	{Spec: spec("b19_1", 212729, 410577, 59580, 317), PaperPhi: 317, PaperSER: 2.45e-1, PaperDFFRef: -48.35, PaperDSERRef: -30.40, PaperDFFNew: -48.35, PaperDSERNew: -30.40, PaperRatio: 100, PaperJ: 6},
+	{Spec: spec("b19", 224625, 433583, 60801, 317), PaperPhi: 317, PaperSER: 2.50e-1, PaperDFFRef: -49.27, PaperDSERRef: -30.72, PaperDFFNew: -49.27, PaperDSERNew: -30.72, PaperRatio: 100, PaperJ: 6},
+	{Spec: spec("b20_1_opt", 10166, 22456, 3462, 191), PaperPhi: 191, PaperSER: 1.63e-2, PaperDFFRef: -57.30, PaperDSERRef: -34.51, PaperDFFNew: -56.21, PaperDSERNew: -34.51, PaperRatio: 100, PaperJ: 4},
+	{Spec: spec("b20_opt", 11958, 26479, 4761, 182), PaperPhi: 182, PaperSER: 2.15e-2, PaperDFFRef: -65.68, PaperDSERRef: -31.48, PaperDFFNew: -65.42, PaperDSERNew: -31.41, PaperRatio: 100, PaperJ: 4},
+	{Spec: spec("b21_1_opt", 9663, 21246, 2451, 171), PaperPhi: 171, PaperSER: 1.22e-2, PaperDFFRef: -34.31, PaperDSERRef: -25.28, PaperDFFNew: -31.78, PaperDSERNew: -48.87, PaperRatio: 146, PaperJ: 4},
+	{Spec: spec("b21_opt", 12135, 26686, 4186, 215), PaperPhi: 215, PaperSER: 1.90e-2, PaperDFFRef: -66.72, PaperDSERRef: -33.35, PaperDFFNew: -66.36, PaperDSERNew: -40.82, PaperRatio: 113, PaperJ: 4},
+	{Spec: spec("b22_1_opt", 14957, 32663, 4398, 194), PaperPhi: 194, PaperSER: 2.19e-2, PaperDFFRef: -50.55, PaperDSERRef: -31.39, PaperDFFNew: -50.36, PaperDSERNew: -33.34, PaperRatio: 103, PaperJ: 4},
+	{Spec: spec("b22_opt", 17330, 37941, 5556, 178), PaperPhi: 178, PaperSER: 2.67e-2, PaperDFFRef: -50.61, PaperDSERRef: -29.56, PaperDFFNew: -51.02, PaperDSERNew: -35.88, PaperRatio: 110, PaperJ: 3},
+}
+
+func spec(name string, gates, conns, ffs int, phi float64) Spec {
+	// The average gate delay tracks the average fanin (sparse circuits are
+	// inverter/buffer heavy); the spine chain then yields a critical path
+	// near the published Φ.
+	avgFanin := float64(conns) / float64(gates)
+	est := 0.4 + 0.85*avgFanin
+	depth := int(phi / est)
+	if depth < 8 {
+		depth = 8
+	}
+	return Spec{Name: name, Gates: gates, Conns: conns, FFs: ffs, Depth: depth}
+}
+
+// FindTableI returns the spec of a Table I circuit by name.
+func FindTableI(name string) (TableISpec, error) {
+	for _, s := range TableI {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return TableISpec{}, fmt.Errorf("gen: unknown Table I circuit %q", name)
+}
+
+// Scale returns a copy of the spec shrunk by factor k (>= 1): all counts
+// divided by k, depth preserved. Useful for quick runs of the harness on
+// the largest circuits.
+func (s TableISpec) Scale(k int) TableISpec {
+	if k <= 1 {
+		return s
+	}
+	out := s
+	out.Spec.Name = fmt.Sprintf("%s/%d", s.Name, k)
+	out.Spec.Gates = maxInt(s.Gates/k, 16)
+	out.Spec.Conns = maxInt(s.Conns/k, out.Spec.Gates)
+	out.Spec.FFs = maxInt(s.FFs/k, 2)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+// Package graph implements the Leiserson–Saxe retiming graph G = (V, E)
+// extracted from a sequential circuit.
+//
+// Vertices are the combinational gates plus a distinguished host vertex
+// representing the environment; each edge carries a non-negative register
+// count w(e), and each vertex a delay d(v). A retiming is an integer vertex
+// labeling r with r(host) = 0; the retimed register count of an edge is
+// w_r(u,v) = w(u,v) + r(v) - r(u).
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"serretime/internal/circuit"
+)
+
+// VertexID indexes a vertex. The host is always vertex 0.
+type VertexID int32
+
+// Host is the environment vertex: primary inputs are its out-edges and
+// primary outputs its in-edges. It is never retimed (r(Host) = 0).
+const Host VertexID = 0
+
+// EdgeID indexes an edge within a Graph.
+type EdgeID int32
+
+// Edge is a directed connection carrying registers.
+type Edge struct {
+	From, To VertexID
+	// W is the register count of the edge in the base (unretimed) circuit.
+	W int32
+	// SrcPort distinguishes host out-edges by primary input (register
+	// sharing groups); -1 for edges leaving ordinary vertices.
+	SrcPort int32
+}
+
+// Graph is an immutable retiming graph. Retimings are separate r vectors.
+type Graph struct {
+	names []string
+	delay []float64
+	edges []Edge
+	out   [][]EdgeID
+	in    [][]EdgeID
+
+	// vertexOf maps a circuit gate node to its vertex, if the graph was
+	// extracted from a circuit (nil otherwise).
+	vertexOf map[circuit.NodeID]VertexID
+	// nodeOf maps a vertex back to the circuit gate (InvalidNode for Host
+	// or synthetic graphs).
+	nodeOf []circuit.NodeID
+}
+
+// Builder constructs a Graph directly (used by tests and the generator;
+// circuits use FromCircuit).
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder returns a builder whose graph already contains the host
+// vertex (delay 0).
+func NewBuilder() *Builder {
+	g := &Graph{
+		names: []string{"<host>"},
+		delay: []float64{0},
+		out:   [][]EdgeID{nil},
+		in:    [][]EdgeID{nil},
+		nodeOf: []circuit.NodeID{
+			circuit.InvalidNode,
+		},
+	}
+	return &Builder{g: g}
+}
+
+// AddVertex appends a vertex with the given name and delay.
+func (b *Builder) AddVertex(name string, delay float64) VertexID {
+	id := VertexID(len(b.g.names))
+	b.g.names = append(b.g.names, name)
+	b.g.delay = append(b.g.delay, delay)
+	b.g.out = append(b.g.out, nil)
+	b.g.in = append(b.g.in, nil)
+	b.g.nodeOf = append(b.g.nodeOf, circuit.InvalidNode)
+	return id
+}
+
+// AddEdge appends an edge with w registers.
+func (b *Builder) AddEdge(from, to VertexID, w int32) EdgeID {
+	return b.addEdge(from, to, w, -1)
+}
+
+func (b *Builder) addEdge(from, to VertexID, w int32, port int32) EdgeID {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %d", w))
+	}
+	id := EdgeID(len(b.g.edges))
+	b.g.edges = append(b.g.edges, Edge{From: from, To: to, W: w, SrcPort: port})
+	b.g.out[from] = append(b.g.out[from], id)
+	b.g.in[to] = append(b.g.in[to], id)
+	return id
+}
+
+// Build finalizes and returns the graph.
+func (b *Builder) Build() *Graph { return b.g }
+
+// NumVertices returns the vertex count including the host.
+func (g *Graph) NumVertices() int { return len(g.names) }
+
+// NumGates returns |V|: the combinational gate count (vertices minus host).
+func (g *Graph) NumGates() int { return len(g.names) - 1 }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Name returns the vertex name.
+func (g *Graph) Name(v VertexID) string { return g.names[v] }
+
+// Delay returns d(v).
+func (g *Graph) Delay(v VertexID) float64 { return g.delay[v] }
+
+// Edge returns the edge record.
+func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+
+// Out returns the out-edge IDs of v. Callers must not modify it.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the in-edge IDs of v. Callers must not modify it.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// VertexOf returns the vertex extracted for a circuit gate node.
+func (g *Graph) VertexOf(n circuit.NodeID) (VertexID, bool) {
+	v, ok := g.vertexOf[n]
+	return v, ok
+}
+
+// NodeOf returns the circuit gate node a vertex was extracted from, or
+// circuit.InvalidNode for the host or synthetic graphs.
+func (g *Graph) NodeOf(v VertexID) circuit.NodeID { return g.nodeOf[v] }
+
+// Retiming is a vertex labeling r: V -> Z with r[Host] fixed at 0.
+type Retiming []int32
+
+// NewRetiming returns the zero retiming for g.
+func NewRetiming(g *Graph) Retiming { return make(Retiming, g.NumVertices()) }
+
+// Clone copies the retiming.
+func (r Retiming) Clone() Retiming { return append(Retiming(nil), r...) }
+
+// WR returns the retimed register count w_r(e) = w(e) + r(to) - r(from).
+func (g *Graph) WR(e EdgeID, r Retiming) int32 {
+	ed := &g.edges[e]
+	return ed.W + r[ed.To] - r[ed.From]
+}
+
+// CheckLegal verifies r(Host) = 0 and w_r(e) >= 0 on every edge (P0).
+func (g *Graph) CheckLegal(r Retiming) error {
+	if len(r) != g.NumVertices() {
+		return fmt.Errorf("graph: retiming length %d, want %d", len(r), g.NumVertices())
+	}
+	if r[Host] != 0 {
+		return fmt.Errorf("graph: host retimed (r=%d)", r[Host])
+	}
+	for i := range g.edges {
+		if w := g.WR(EdgeID(i), r); w < 0 {
+			e := g.edges[i]
+			return fmt.Errorf("graph: edge %s->%s has w_r=%d", g.names[e.From], g.names[e.To], w)
+		}
+	}
+	return nil
+}
+
+// TotalEdgeRegisters returns the summed per-edge register count under r
+// (the register measure used by eq. 5 of the paper).
+func (g *Graph) TotalEdgeRegisters(r Retiming) int64 {
+	var n int64
+	for i := range g.edges {
+		n += int64(g.WR(EdgeID(i), r))
+	}
+	return n
+}
+
+// SharedRegisters returns the physical flip-flop count under r with
+// max-sharing: registers on fanout edges of the same driver (and, for the
+// host, the same primary input port) share a chain, costing the maximum
+// w_r over the group.
+func (g *Graph) SharedRegisters(r Retiming) int64 {
+	var n int64
+	for v := range g.out {
+		if VertexID(v) == Host {
+			// Group host out-edges by source port.
+			maxPort := make(map[int32]int32)
+			for _, e := range g.out[v] {
+				w := g.WR(e, r)
+				p := g.edges[e].SrcPort
+				if w > maxPort[p] {
+					maxPort[p] = w
+				}
+			}
+			for _, w := range maxPort {
+				n += int64(w)
+			}
+			continue
+		}
+		var mx int32
+		for _, e := range g.out[v] {
+			if w := g.WR(e, r); w > mx {
+				mx = w
+			}
+		}
+		n += int64(mx)
+	}
+	return n
+}
+
+// ZeroWeightTopo returns the vertices (excluding Host) in a topological
+// order of the subgraph of edges with w_r = 0, ignoring edges incident to
+// the host (the environment is a timing barrier). An error is returned if
+// the zero-weight subgraph has a cycle, which means the retimed circuit is
+// not a synchronous circuit.
+func (g *Graph) ZeroWeightTopo(r Retiming) ([]VertexID, error) {
+	n := g.NumVertices()
+	indeg := make([]int32, n)
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.From == Host || e.To == Host {
+			continue
+		}
+		if g.WR(EdgeID(i), r) == 0 {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 1; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	order := make([]VertexID, 0, n-1)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, eid := range g.out[v] {
+			e := &g.edges[eid]
+			if e.To == Host || g.WR(eid, r) != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n-1 {
+		return nil, fmt.Errorf("graph: zero-weight cycle under retiming (%d of %d vertices ordered)", len(order), n-1)
+	}
+	return order, nil
+}
+
+// ArrivalTimes computes the combinational arrival time at each vertex
+// under r: A(v) = d(v) + max over zero-weight in-edges (u,v) of A(u),
+// with registered and host inputs arriving at time 0. The second return
+// value is the maximum arrival (the combinational critical path delay).
+func (g *Graph) ArrivalTimes(r Retiming) ([]float64, float64, error) {
+	order, err := g.ZeroWeightTopo(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	arr := make([]float64, g.NumVertices())
+	var crit float64
+	for _, v := range order {
+		a := 0.0
+		for _, eid := range g.in[v] {
+			e := &g.edges[eid]
+			if e.From == Host || g.WR(eid, r) != 0 {
+				continue
+			}
+			if arr[e.From] > a {
+				a = arr[e.From]
+			}
+		}
+		arr[v] = a + g.delay[v]
+		if arr[v] > crit {
+			crit = arr[v]
+		}
+	}
+	return arr, crit, nil
+}
+
+// Check verifies structural invariants of the graph itself: consistent
+// adjacency, non-negative base weights, and at least one register on every
+// cycle (the zero retiming must be synchronous).
+func (g *Graph) Check() error {
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.W < 0 {
+			return fmt.Errorf("graph: edge %d negative weight", i)
+		}
+		if int(e.From) >= g.NumVertices() || int(e.To) >= g.NumVertices() {
+			return fmt.Errorf("graph: edge %d endpoint out of range", i)
+		}
+	}
+	_, err := g.ZeroWeightTopo(NewRetiming(g))
+	return err
+}
+
+// MaxDelay returns the largest vertex delay.
+func (g *Graph) MaxDelay() float64 {
+	mx := 0.0
+	for _, d := range g.delay {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// MinDelay returns the smallest nonzero vertex delay (the fallback Rmin the
+// paper uses for hold-infeasible circuits); 0 if the graph has no gates.
+func (g *Graph) MinDelay() float64 {
+	mn := math.Inf(1)
+	for v := 1; v < len(g.delay); v++ {
+		if g.delay[v] < mn {
+			mn = g.delay[v]
+		}
+	}
+	if math.IsInf(mn, 1) {
+		return 0
+	}
+	return mn
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WD holds the classic Leiserson–Saxe path matrices:
+//
+//	W(u,v) = minimum register count over all u->v paths,
+//	D(u,v) = maximum total vertex delay (endpoints included) over the
+//	         u->v paths achieving W(u,v).
+//
+// Paths never route *through* the host (the environment is a timing
+// barrier), though they may start or end there. Unreachable pairs have
+// W = NoPath.
+type WD struct {
+	n int
+	w []int32
+	d []float64
+}
+
+// NoPath marks an unreachable vertex pair in W.
+const NoPath int32 = math.MaxInt32
+
+// W returns W(u,v), or NoPath if v is unreachable from u.
+func (m *WD) W(u, v VertexID) int32 { return m.w[int(u)*m.n+int(v)] }
+
+// D returns D(u,v); meaningful only when W(u,v) != NoPath.
+func (m *WD) D(u, v VertexID) float64 { return m.d[int(u)*m.n+int(v)] }
+
+type pqItem struct {
+	v    VertexID
+	dist int32
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// ComputeWD builds the W/D matrices for the base weights of g. This costs
+// Θ(|V|²) memory and O(|V| · |E| log |V|) time; it exists for the exact
+// reference solver and for validation, not for the incremental algorithms.
+func (g *Graph) ComputeWD() *WD {
+	n := g.NumVertices()
+	m := &WD{n: n, w: make([]int32, n*n), d: make([]float64, n*n)}
+	for i := range m.w {
+		m.w[i] = NoPath
+		m.d[i] = math.Inf(-1)
+	}
+	dist := make([]int32, n)
+	for src := 0; src < n; src++ {
+		g.wdFrom(VertexID(src), m, dist)
+	}
+	return m
+}
+
+// wdFrom fills row src of the matrices.
+func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
+	n := g.NumVertices()
+	for i := range dist {
+		dist[i] = NoPath
+	}
+	// Phase 1: Dijkstra on register counts (all weights >= 0).
+	dist[src] = 0
+	h := pq{{src, 0}}
+	for len(h) > 0 {
+		it := heap.Pop(&h).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		if it.v == Host && src != Host {
+			continue // do not route through the environment
+		}
+		for _, eid := range g.out[it.v] {
+			e := &g.edges[eid]
+			if nd := it.dist + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(&h, pqItem{e.To, nd})
+			}
+		}
+	}
+	// Phase 2: longest-delay DP over the tight subgraph (edges on some
+	// min-register path). The tight subgraph is acyclic because a tight
+	// cycle would be a zero-weight cycle, which Check() excludes.
+	row := int(src) * n
+	// dDP[v] = max delay of a min-register path src..v, *excluding* d(v)
+	// accumulation handled by adding d at relaxation time; we store the
+	// full path delay including both endpoints.
+	dDP := m.d[row : row+n]
+	wRow := m.w[row : row+n]
+	for v := 0; v < n; v++ {
+		wRow[v] = dist[v]
+	}
+	// Process vertices in ascending (dist, topo-within-level) order via
+	// Kahn's algorithm restricted to tight edges.
+	indeg := make([]int32, n)
+	for i := range g.edges {
+		e := &g.edges[i]
+		if dist[e.From] == NoPath || (e.From == Host && src != Host) {
+			continue
+		}
+		if dist[e.From]+e.W == dist[e.To] {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if dist[v] != NoPath && indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	for v := range dDP {
+		dDP[v] = math.Inf(-1)
+	}
+	dDP[src] = g.delay[src]
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if v == Host && v != src {
+			continue
+		}
+		for _, eid := range g.out[v] {
+			e := &g.edges[eid]
+			if dist[v]+e.W != dist[e.To] {
+				continue
+			}
+			if nd := dDP[v] + g.delay[e.To]; nd > dDP[e.To] {
+				dDP[e.To] = nd
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package interval implements sets of disjoint closed real intervals.
+//
+// Error-latching windows (ELWs) in soft-error timing analysis are unions of
+// disjoint intervals on the time axis (Lu & Zhou, DATE 2013, eq. 2). This
+// package provides the set algebra the ELW computation of eq. (3) needs:
+// union, scalar shift, total measure, and containment queries.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Interval is a closed interval [L, R] with L <= R.
+type Interval struct {
+	L, R float64
+}
+
+// Len returns the length R - L of the interval.
+func (iv Interval) Len() float64 { return iv.R - iv.L }
+
+// Contains reports whether t lies in [L, R].
+func (iv Interval) Contains(t float64) bool { return iv.L <= t && t <= iv.R }
+
+// Shift returns the interval translated by delta.
+func (iv Interval) Shift(delta float64) Interval {
+	return Interval{iv.L + delta, iv.R + delta}
+}
+
+// Overlaps reports whether the two closed intervals intersect
+// (touching endpoints count as overlap, so their union is one interval).
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.L <= o.R && o.L <= iv.R
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%g, %g]", iv.L, iv.R)
+}
+
+// Set is a union of disjoint, sorted, non-touching closed intervals.
+// The zero value is the empty set and is ready to use.
+type Set struct {
+	ivs []Interval
+}
+
+// New builds a Set from arbitrary intervals, merging overlaps.
+// Intervals with R < L are rejected with an error.
+func New(ivs ...Interval) (Set, error) {
+	for _, iv := range ivs {
+		if iv.R < iv.L {
+			return Set{}, fmt.Errorf("interval: inverted interval [%g, %g]", iv.L, iv.R)
+		}
+		if math.IsNaN(iv.L) || math.IsNaN(iv.R) {
+			return Set{}, fmt.Errorf("interval: NaN bound in [%g, %g]", iv.L, iv.R)
+		}
+	}
+	s := Set{ivs: append([]Interval(nil), ivs...)}
+	s.normalize()
+	return s, nil
+}
+
+// MustNew is New, panicking on invalid input. For tests and literals.
+func MustNew(ivs ...Interval) Set {
+	s, err := New(ivs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Single returns the set containing exactly [l, r].
+func Single(l, r float64) Set {
+	if r < l {
+		panic(fmt.Sprintf("interval: inverted interval [%g, %g]", l, r))
+	}
+	return Set{ivs: []Interval{{l, r}}}
+}
+
+// normalize sorts and merges the interval list in place.
+func (s *Set) normalize() {
+	if len(s.ivs) <= 1 {
+		return
+	}
+	sort.Slice(s.ivs, func(i, j int) bool { return s.ivs[i].L < s.ivs[j].L })
+	out := s.ivs[:1]
+	for _, iv := range s.ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.L <= last.R {
+			if iv.R > last.R {
+				last.R = iv.R
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	s.ivs = out
+}
+
+// Empty reports whether the set contains no intervals.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// Count returns the number of disjoint intervals (the paper's l in ELW_l).
+func (s Set) Count() int { return len(s.ivs) }
+
+// Intervals returns a copy of the disjoint intervals in ascending order.
+func (s Set) Intervals() []Interval {
+	return append([]Interval(nil), s.ivs...)
+}
+
+// Measure returns the total length sum_i (R_i - L_i), i.e. |ELW| in eq. (4).
+func (s Set) Measure() float64 {
+	var m float64
+	for _, iv := range s.ivs {
+		m += iv.Len()
+	}
+	return m
+}
+
+// Min returns the smallest left endpoint L_1. Panics on the empty set.
+func (s Set) Min() float64 {
+	if s.Empty() {
+		panic("interval: Min of empty set")
+	}
+	return s.ivs[0].L
+}
+
+// Max returns the largest right endpoint R_l. Panics on the empty set.
+func (s Set) Max() float64 {
+	if s.Empty() {
+		panic("interval: Max of empty set")
+	}
+	return s.ivs[len(s.ivs)-1].R
+}
+
+// Contains reports whether t lies in some interval of the set.
+func (s Set) Contains(t float64) bool {
+	// Binary search for the first interval with L > t, then check its
+	// predecessor.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].L > t })
+	return i > 0 && s.ivs[i-1].Contains(t)
+}
+
+// Union returns the union of s and o.
+func (s Set) Union(o Set) Set {
+	if s.Empty() {
+		return o.clone()
+	}
+	if o.Empty() {
+		return s.clone()
+	}
+	u := Set{ivs: make([]Interval, 0, len(s.ivs)+len(o.ivs))}
+	u.ivs = append(u.ivs, s.ivs...)
+	u.ivs = append(u.ivs, o.ivs...)
+	u.normalize()
+	return u
+}
+
+// UnionInPlace merges o into s, reusing s's storage where possible.
+func (s *Set) UnionInPlace(o Set) {
+	if o.Empty() {
+		return
+	}
+	s.ivs = append(s.ivs, o.ivs...)
+	s.normalize()
+}
+
+// Shift returns the set translated by delta (the ELW(f) - d(f) operation
+// of eq. 3 uses delta = -d(f)).
+func (s Set) Shift(delta float64) Set {
+	out := Set{ivs: make([]Interval, len(s.ivs))}
+	for i, iv := range s.ivs {
+		out.ivs[i] = iv.Shift(delta)
+	}
+	return out
+}
+
+// Intersect returns the intersection of s and o.
+func (s Set) Intersect(o Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		lo := math.Max(a.L, b.L)
+		hi := math.Min(a.R, b.R)
+		if lo <= hi {
+			out.ivs = append(out.ivs, Interval{lo, hi})
+		}
+		if a.R < b.R {
+			i++
+		} else {
+			j++
+		}
+	}
+	// Intersection of disjoint sorted sets is disjoint and sorted, but
+	// touching endpoints can arise; normalize for canonical form.
+	out.normalize()
+	return out
+}
+
+// Equal reports whether the two sets contain exactly the same intervals.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether the two sets are equal within eps at every
+// endpoint (useful after floating-point shifts).
+func (s Set) ApproxEqual(o Set, eps float64) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if math.Abs(s.ivs[i].L-o.ivs[i].L) > eps || math.Abs(s.ivs[i].R-o.ivs[i].R) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns the subset of s lying within [lo, hi].
+func (s Set) Clamp(lo, hi float64) Set {
+	if hi < lo {
+		return Set{}
+	}
+	return s.Intersect(Single(lo, hi))
+}
+
+func (s Set) clone() Set {
+	return Set{ivs: append([]Interval(nil), s.ivs...)}
+}
+
+func (s Set) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}

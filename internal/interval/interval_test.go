@@ -1,0 +1,230 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsInverted(t *testing.T) {
+	if _, err := New(Interval{2, 1}); err == nil {
+		t.Fatal("New accepted inverted interval")
+	}
+	if _, err := New(Interval{math.NaN(), 1}); err == nil {
+		t.Fatal("New accepted NaN bound")
+	}
+}
+
+func TestNormalizeMergesOverlaps(t *testing.T) {
+	s := MustNew(Interval{0, 2}, Interval{1, 3}, Interval{5, 6})
+	want := MustNew(Interval{0, 3}, Interval{5, 6})
+	if !s.Equal(want) {
+		t.Fatalf("got %v, want %v", s, want)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+}
+
+func TestNormalizeMergesTouching(t *testing.T) {
+	s := MustNew(Interval{0, 1}, Interval{1, 2})
+	if s.Count() != 1 {
+		t.Fatalf("touching intervals not merged: %v", s)
+	}
+	if s.Measure() != 2 {
+		t.Fatalf("Measure = %g, want 2", s.Measure())
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 || s.Measure() != 0 {
+		t.Fatalf("zero Set not empty: %v", s)
+	}
+	if s.Contains(0) {
+		t.Fatal("empty set contains 0")
+	}
+	u := s.Union(Single(1, 2))
+	if u.Measure() != 1 {
+		t.Fatalf("union with empty wrong: %v", u)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := MustNew(Interval{3, 4}, Interval{-1, 0}, Interval{10, 12})
+	if s.Min() != -1 {
+		t.Fatalf("Min = %g", s.Min())
+	}
+	if s.Max() != 12 {
+		t.Fatalf("Max = %g", s.Max())
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min on empty set did not panic")
+		}
+	}()
+	var s Set
+	_ = s.Min()
+}
+
+func TestShift(t *testing.T) {
+	s := MustNew(Interval{1, 2}, Interval{4, 5})
+	g := s.Shift(-1.5)
+	want := MustNew(Interval{-0.5, 0.5}, Interval{2.5, 3.5})
+	if !g.Equal(want) {
+		t.Fatalf("Shift: got %v want %v", g, want)
+	}
+	if math.Abs(g.Measure()-s.Measure()) > 1e-12 {
+		t.Fatal("Shift changed measure")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := MustNew(Interval{0, 1}, Interval{3, 4})
+	cases := []struct {
+		t    float64
+		want bool
+	}{
+		{-0.1, false}, {0, true}, {0.5, true}, {1, true},
+		{2, false}, {3, true}, {4, true}, {4.1, false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%g) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := MustNew(Interval{0, 5}, Interval{10, 15})
+	b := MustNew(Interval{3, 12})
+	got := a.Intersect(b)
+	want := MustNew(Interval{3, 5}, Interval{10, 12})
+	if !got.Equal(want) {
+		t.Fatalf("Intersect: got %v want %v", got, want)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	a := Single(0, 1)
+	b := Single(2, 3)
+	if !a.Intersect(b).Empty() {
+		t.Fatal("disjoint intersection not empty")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	s := MustNew(Interval{0, 10})
+	got := s.Clamp(2, 4)
+	if !got.Equal(Single(2, 4)) {
+		t.Fatalf("Clamp: got %v", got)
+	}
+	if !s.Clamp(5, 3).Empty() {
+		t.Fatal("Clamp with hi<lo not empty")
+	}
+}
+
+func TestUnionInPlace(t *testing.T) {
+	s := Single(0, 1)
+	s.UnionInPlace(Single(0.5, 2))
+	if !s.Equal(Single(0, 2)) {
+		t.Fatalf("UnionInPlace: got %v", s)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if got := MustNew(Interval{0, 1}).String(); got != "[0, 1]" {
+		t.Fatalf("String = %q", got)
+	}
+	var e Set
+	if e.String() != "{}" {
+		t.Fatalf("empty String = %q", e.String())
+	}
+}
+
+// randomSet builds a small random interval set for property tests.
+func randomSet(r *rand.Rand) Set {
+	n := r.Intn(5)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		l := r.Float64()*20 - 10
+		ivs[i] = Interval{l, l + r.Float64()*5}
+	}
+	return MustNew(ivs...)
+}
+
+func TestPropertyUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnionMeasureSuperadditive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		u := a.Union(b)
+		// |A ∪ B| <= |A| + |B| and >= max(|A|, |B|).
+		const eps = 1e-9
+		return u.Measure() <= a.Measure()+b.Measure()+eps &&
+			u.Measure() >= math.Max(a.Measure(), b.Measure())-eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSet(r), randomSet(r)
+		u := a.Union(b)
+		x := a.Intersect(b)
+		const eps = 1e-9
+		return math.Abs(u.Measure()+x.Measure()-a.Measure()-b.Measure()) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizedDisjointSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r).Union(randomSet(r))
+		ivs := s.Intervals()
+		for i := 0; i+1 < len(ivs); i++ {
+			if ivs[i].R >= ivs[i+1].L { // must be strictly separated
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyShiftRoundTrip(t *testing.T) {
+	f := func(seed int64, delta float64) bool {
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return true
+		}
+		delta = math.Mod(delta, 1e6)
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r)
+		return s.Shift(delta).Shift(-delta).ApproxEqual(s, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMaxClosure(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 1000
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = int64(rng.Intn(201) - 100)
+	}
+	frozen := make([]bool, n)
+	var arcs [][2]int32
+	for k := 0; k < 3*n; k++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			arcs = append(arcs, [2]int32{u, v})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxClosure(n, weights, frozen, arcs)
+	}
+}

@@ -1,0 +1,255 @@
+// Package mcf solves integer linear programs of the difference-constraint
+// form used by classic retiming formulations ([18], [22], and the LP of
+// [17] the paper compares against):
+//
+//	maximize    Σ obj(v)·r(v)
+//	subject to  r(u) − r(v) ≤ c(u,v)   for every constraint arc (u,v)
+//
+// The constraint matrix is totally unimodular, so the LP optimum is
+// integral; by duality it is a min-cost flow, solved here with
+// Bellman–Ford potential initialization and successive shortest paths.
+// The solver exists as the *exact reference* against which the paper's
+// incremental forest-based algorithms are validated.
+package mcf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Arc is the constraint r(From) − r(To) ≤ Cost.
+type Arc struct {
+	From, To int
+	Cost     int64
+}
+
+// ErrInfeasible is returned when the constraint system has no solution
+// (a negative-cost cycle exists).
+var ErrInfeasible = fmt.Errorf("mcf: constraints infeasible (negative cycle)")
+
+// ErrUnbounded is returned when the objective is unbounded above.
+var ErrUnbounded = fmt.Errorf("mcf: objective unbounded")
+
+// Result of Maximize.
+type Result struct {
+	// R is an optimal integer assignment with R[fixed] = 0.
+	R []int64
+	// Objective is Σ obj(v)·R(v).
+	Objective int64
+}
+
+type edge struct {
+	to   int
+	cost int64
+	flow int64 // flow on forward edge; residual cap of backward = flow
+	rev  int   // index of reverse edge in adj[to]
+	fwd  bool
+}
+
+type solver struct {
+	n   int
+	adj [][]edge
+	pot []int64
+}
+
+func (s *solver) addArc(u, v int, cost int64) {
+	s.adj[u] = append(s.adj[u], edge{to: v, cost: cost, rev: len(s.adj[v]), fwd: true})
+	s.adj[v] = append(s.adj[v], edge{to: u, cost: -cost, rev: len(s.adj[u]) - 1, fwd: false})
+}
+
+// Maximize solves the difference-constraint program. n is the number of
+// variables; fixed is the index pinned to zero (the retiming host).
+func Maximize(n int, arcs []Arc, obj []int64, fixed int) (*Result, error) {
+	if len(obj) != n {
+		return nil, fmt.Errorf("mcf: objective length %d, want %d", len(obj), n)
+	}
+	if fixed < 0 || fixed >= n {
+		return nil, fmt.Errorf("mcf: fixed index %d out of range", fixed)
+	}
+	for _, a := range arcs {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n {
+			return nil, fmt.Errorf("mcf: arc %+v out of range", a)
+		}
+	}
+	s := &solver{n: n, adj: make([][]edge, n)}
+	for _, a := range arcs {
+		if a.From == a.To {
+			if a.Cost < 0 {
+				return nil, ErrInfeasible
+			}
+			continue
+		}
+		s.addArc(a.From, a.To, a.Cost)
+	}
+	// Supplies: the dual flow conservation is
+	// outflow(x) − inflow(x) = obj(x); fold the gauge freedom into the
+	// fixed vertex so the total supply is zero.
+	excess := make([]int64, n)
+	var total int64
+	for v := 0; v < n; v++ {
+		if v == fixed {
+			continue
+		}
+		excess[v] = obj[v]
+		total += obj[v]
+	}
+	excess[fixed] = -total
+
+	if err := s.initPotentials(); err != nil {
+		return nil, err
+	}
+	if err := s.run(excess); err != nil {
+		return nil, err
+	}
+	res := &Result{R: make([]int64, n)}
+	base := s.pot[fixed]
+	for v := 0; v < n; v++ {
+		res.R[v] = -(s.pot[v] - base)
+		res.Objective += obj[v] * res.R[v]
+	}
+	return res, nil
+}
+
+// initPotentials runs Bellman–Ford from a virtual source connected to all
+// vertices, producing potentials with non-negative reduced costs on all
+// forward arcs; a relaxation persisting past n rounds means a negative
+// cycle, i.e. infeasible constraints.
+func (s *solver) initPotentials() error {
+	s.pot = make([]int64, s.n)
+	for round := 0; ; round++ {
+		changed := false
+		for u := 0; u < s.n; u++ {
+			for _, e := range s.adj[u] {
+				if !e.fwd {
+					continue
+				}
+				if nd := s.pot[u] + e.cost; nd < s.pot[e.to] {
+					s.pot[e.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+		if round > s.n {
+			return ErrInfeasible
+		}
+	}
+}
+
+type pqItem struct {
+	v    int
+	dist int64
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// run routes all excess to deficits along successive shortest paths.
+func (s *solver) run(excess []int64) error {
+	const inf = math.MaxInt64 / 4
+	dist := make([]int64, s.n)
+	prevV := make([]int, s.n)
+	prevE := make([]int, s.n)
+	for {
+		src := -1
+		for v := 0; v < s.n; v++ {
+			if excess[v] > 0 {
+				src = v
+				break
+			}
+		}
+		if src < 0 {
+			return nil
+		}
+		// Dijkstra with reduced costs over the residual graph.
+		for i := range dist {
+			dist[i] = inf
+			prevV[i] = -1
+		}
+		dist[src] = 0
+		h := pq{{src, 0}}
+		for len(h) > 0 {
+			it := heap.Pop(&h).(pqItem)
+			if it.dist > dist[it.v] {
+				continue
+			}
+			for ei, e := range s.adj[it.v] {
+				// Backward entries carry residual equal to the paired
+				// forward edge's flow; forward edges have infinite
+				// capacity.
+				if !e.fwd && s.adj[e.to][e.rev].flow == 0 {
+					continue
+				}
+				rc := e.cost + s.pot[it.v] - s.pot[e.to]
+				if rc < 0 {
+					return fmt.Errorf("mcf: internal: negative reduced cost %d", rc)
+				}
+				if nd := it.dist + rc; nd < dist[e.to] {
+					dist[e.to] = nd
+					prevV[e.to] = it.v
+					prevE[e.to] = ei
+					heap.Push(&h, pqItem{e.to, nd})
+				}
+			}
+		}
+		// Nearest reachable deficit.
+		sink := -1
+		for v := 0; v < s.n; v++ {
+			if excess[v] < 0 && dist[v] < inf {
+				if sink < 0 || dist[v] < dist[sink] {
+					sink = v
+				}
+			}
+		}
+		if sink < 0 {
+			return ErrUnbounded
+		}
+		// Bottleneck: limited by excess, deficit, and backward residuals.
+		amt := excess[src]
+		if -excess[sink] < amt {
+			amt = -excess[sink]
+		}
+		for v := sink; v != src; v = prevV[v] {
+			e := &s.adj[prevV[v]][prevE[v]]
+			if !e.fwd {
+				if res := s.adj[e.to][e.rev].flow; res < amt {
+					amt = res
+				}
+			}
+		}
+		// Apply.
+		for v := sink; v != src; v = prevV[v] {
+			e := &s.adj[prevV[v]][prevE[v]]
+			if e.fwd {
+				e.flow += amt
+			} else {
+				s.adj[e.to][e.rev].flow -= amt
+			}
+		}
+		excess[src] -= amt
+		excess[sink] += amt
+		// Update potentials with the standard min(d(v), d(sink)) rule,
+		// which keeps all residual reduced costs non-negative (unreached
+		// vertices advance by d(sink)).
+		dt := dist[sink]
+		for v := 0; v < s.n; v++ {
+			if dist[v] < dt {
+				s.pot[v] += dist[v]
+			} else {
+				s.pot[v] += dt
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleMax(t *testing.T) {
+	// max r1  s.t.  r1 − r0 ≤ 3, with r0 = 0.
+	res, err := Maximize(2, []Arc{{1, 0, 3}}, []int64{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R[0] != 0 || res.R[1] != 3 || res.Objective != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSimpleMin(t *testing.T) {
+	// max −r1  s.t.  r0 − r1 ≤ 2 (so r1 ≥ −2).
+	res, err := Maximize(2, []Arc{{0, 1, 2}}, []int64{0, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R[1] != -2 || res.Objective != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestChain(t *testing.T) {
+	arcs := []Arc{{1, 0, 1}, {2, 1, 1}}
+	res, err := Maximize(3, arcs, []int64{0, 0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R[2] != 2 {
+		t.Fatalf("r2 = %d", res.R[2])
+	}
+}
+
+func TestCompetingObjectives(t *testing.T) {
+	// max 2·r1 − r2 s.t. r1 − r2 ≤ 0 (r1 ≤ r2), r1 − r0 ≤ 5, r0 − r2 ≤ 0
+	// (r2 ≥ 0). Optimum: r1 = r2 = 5 gives 10 − 5 = 5;
+	// r1 = 5 forced ≤ r2, increasing r2 loses 1 per unit beyond 5.
+	arcs := []Arc{{1, 2, 0}, {1, 0, 5}, {0, 2, 0}}
+	res, err := Maximize(3, arcs, []int64{0, 2, -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 5 {
+		t.Fatalf("objective = %d, want 5 (r=%v)", res.Objective, res.R)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	arcs := []Arc{{0, 1, -1}, {1, 0, 0}}
+	if _, err := Maximize(2, arcs, []int64{0, 0}, 0); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := Maximize(1, []Arc{{0, 0, -1}}, []int64{0}, 0); err != ErrInfeasible {
+		t.Fatal("negative self-loop not rejected")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	if _, err := Maximize(2, nil, []int64{0, 1}, 0); err != ErrUnbounded {
+		t.Fatalf("unbounded not detected")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Maximize(2, nil, []int64{0}, 0); err == nil {
+		t.Fatal("short objective accepted")
+	}
+	if _, err := Maximize(2, nil, []int64{0, 0}, 5); err == nil {
+		t.Fatal("bad fixed index accepted")
+	}
+	if _, err := Maximize(2, []Arc{{0, 7, 0}}, []int64{0, 0}, 0); err == nil {
+		t.Fatal("out-of-range arc accepted")
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	res, err := Maximize(3, []Arc{{1, 0, 2}, {2, 1, 2}}, []int64{0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != 0 {
+		t.Fatal("zero objective must be zero")
+	}
+}
+
+// bruteMax enumerates r over a box to find the exact optimum.
+func bruteMax(n int, arcs []Arc, obj []int64, bound int64) (int64, bool) {
+	r := make([]int64, n)
+	var best int64
+	found := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			for _, a := range arcs {
+				if r[a.From]-r[a.To] > a.Cost {
+					return
+				}
+			}
+			var o int64
+			for v := 0; v < n; v++ {
+				o += obj[v] * r[v]
+			}
+			if !found || o > best {
+				best = o
+				found = true
+			}
+			return
+		}
+		if i == 0 {
+			r[0] = 0 // fixed
+			rec(1)
+			return
+		}
+		for x := -bound; x <= bound; x++ {
+			r[i] = x
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2) // 3 or 4 variables
+		var arcs []Arc
+		// A bounding ring keeps every variable within ±4 of r0.
+		for v := 1; v < n; v++ {
+			arcs = append(arcs, Arc{v, 0, int64(rng.Intn(4))})
+			arcs = append(arcs, Arc{0, v, int64(rng.Intn(4))})
+		}
+		for k := 0; k < rng.Intn(5); k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			arcs = append(arcs, Arc{u, v, int64(rng.Intn(6) - 2)})
+		}
+		obj := make([]int64, n)
+		for v := 1; v < n; v++ {
+			obj[v] = int64(rng.Intn(7) - 3)
+		}
+		want, feasible := bruteMax(n, arcs, obj, 5)
+		res, err := Maximize(n, arcs, obj, 0)
+		if !feasible {
+			return err == ErrInfeasible
+		}
+		if err != nil {
+			return false
+		}
+		// Solution must be feasible and match the brute-force optimum.
+		for _, a := range arcs {
+			if res.R[a.From]-res.R[a.To] > a.Cost {
+				return false
+			}
+		}
+		return res.Objective == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSupplies(t *testing.T) {
+	// Big objective coefficients exercise multi-unit pushes.
+	arcs := []Arc{{1, 0, 3}, {0, 1, 0}, {2, 1, 1}, {1, 2, 2}}
+	res, err := Maximize(3, arcs, []int64{0, 100000, -50000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 ≤ 3, r2 ≥ r1 − 2... max 100000·r1 − 50000·r2: r1 = 3,
+	// r2 ∈ [r1−2, r1+1] → r2 = 1. Objective 300000 − 50000.
+	if res.Objective != 250000 {
+		t.Fatalf("objective = %d (r=%v)", res.Objective, res.R)
+	}
+}

@@ -1,0 +1,131 @@
+// Package obs computes signal observabilities of a sequential circuit by
+// signature-based ODC (observability don't-care) analysis over an
+// n-time-frame expanded simulation, following [17]/[21] of the paper:
+//
+//	obs(g) = num_ones(O(g)) / K
+//
+// where O(g) is the ODC mask of gate g's first-frame instance and K the
+// number of simulated vectors. Registers act as wires in the expansion, so
+// an error injected at g in frame 0 may surface at a primary output of any
+// later frame; the mask is the union of all those observation events.
+package obs
+
+import (
+	"fmt"
+
+	"serretime/internal/circuit"
+	"serretime/internal/sim"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Frame selects which frame's gate instances are reported (default 0,
+	// giving errors the full n-frame horizon to propagate).
+	Frame int
+	// DropFinalRegisters, when set, treats an error still held in a
+	// register after the last frame as unobserved. By default such errors
+	// count as observable (they are latched and will eventually surface).
+	DropFinalRegisters bool
+}
+
+// Result holds per-node observabilities.
+type Result struct {
+	// Obs[node] is the observability of the node's output in [0, 1].
+	Obs []float64
+	// K is the number of simulated vectors (64 · words).
+	K int
+	// Frame is the reported frame instance.
+	Frame int
+}
+
+// GateObs returns the observability of a node.
+func (r *Result) GateObs(n circuit.NodeID) float64 { return r.Obs[n] }
+
+// Compute runs the backward ODC propagation over the trace.
+func Compute(tr *sim.Trace, opt Options) (*Result, error) {
+	c := tr.Circuit
+	if opt.Frame < 0 || opt.Frame >= tr.Frames {
+		return nil, fmt.Errorf("obs: frame %d outside trace of %d frames", opt.Frame, tr.Frames)
+	}
+	n := c.NumNodes()
+	w := tr.Words
+
+	// odcNext[node] = ODC mask of the node in frame f+1 (register
+	// coupling); odcCur[node] = mask being built for frame f.
+	odcNext := make([]uint64, n*w)
+	odcCur := make([]uint64, n*w)
+	isPO := make([]bool, n)
+	for _, po := range c.POs() {
+		isPO[po] = true
+	}
+	// Reverse topological order for intra-frame propagation.
+	rev := make([]circuit.NodeID, len(tr.Order))
+	for i, id := range tr.Order {
+		rev[len(rev)-1-i] = id
+	}
+
+	in := make([]uint64, 0, 8)
+	evalFlip := func(f int, y *circuit.Node, x circuit.NodeID, word int) uint64 {
+		in = in[:0]
+		for _, fid := range y.Fanin {
+			v := tr.Value(f, fid)[word]
+			if fid == x {
+				v = ^v
+			}
+			in = append(in, v)
+		}
+		return y.Fn.Eval(in)
+	}
+
+	var result *Result
+	for f := tr.Frames - 1; f >= opt.Frame; f-- {
+		for i := range odcCur {
+			odcCur[i] = 0
+		}
+		for _, x := range rev {
+			nd := c.Node(x)
+			base := int(x) * w
+			dst := odcCur[base : base+w]
+			if isPO[x] {
+				for i := range dst {
+					dst[i] = ^uint64(0)
+				}
+			}
+			for _, y := range nd.Fanout {
+				ynd := c.Node(y)
+				ybase := int(y) * w
+				switch ynd.Kind {
+				case circuit.KindDFF:
+					// The flip is stored and surfaces at the DFF's
+					// output in frame f+1.
+					if f == tr.Frames-1 {
+						if !opt.DropFinalRegisters {
+							for i := range dst {
+								dst[i] = ^uint64(0)
+							}
+						}
+						continue
+					}
+					for i := 0; i < w; i++ {
+						dst[i] |= odcNext[ybase+i]
+					}
+				case circuit.KindGate:
+					for i := 0; i < w; i++ {
+						local := evalFlip(f, ynd, x, i) ^ tr.Value(f, y)[i]
+						dst[i] |= local & odcCur[ybase+i]
+					}
+				}
+			}
+		}
+		if f == opt.Frame {
+			res := &Result{Obs: make([]float64, n), K: 64 * w, Frame: opt.Frame}
+			for i := 0; i < n; i++ {
+				res.Obs[i] = sim.Density(odcCur[i*w : (i+1)*w])
+			}
+			result = res
+			break
+		}
+		odcCur, odcNext = odcNext, odcCur
+	}
+	return result, nil
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+
+	"serretime/internal/circuit"
+)
+
+// InjectFlip re-simulates the trace with node target's output forced to
+// its complement in frame 0 and returns, for every primary output and
+// frame, the XOR of the faulty and clean signatures. A set bit means the
+// injected error reached that output in that frame for that vector —
+// ground truth for observability (the ODC analysis of package obs is the
+// fast approximation of exactly this experiment).
+func InjectFlip(tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
+	c := tr.Circuit
+	if int(target) < 0 || int(target) >= c.NumNodes() {
+		return nil, fmt.Errorf("sim: inject target %d out of range", target)
+	}
+	w := tr.Words
+	n := c.NumNodes()
+	// faulty[node*w+i] holds the faulty value of the current frame.
+	cur := make([]uint64, n*w)
+	prev := make([]uint64, n*w)
+	in := make([]uint64, 0, 8)
+
+	diffs := make([][][]uint64, tr.Frames)
+	for f := 0; f < tr.Frames; f++ {
+		// Sources: PIs always match the clean trace; DFFs carry the faulty
+		// previous-frame value (frame 0 state matches the clean trace).
+		for id := 0; id < n; id++ {
+			nd := c.Node(circuit.NodeID(id))
+			base := id * w
+			switch nd.Kind {
+			case circuit.KindPI:
+				copy(cur[base:base+w], tr.Value(f, circuit.NodeID(id)))
+			case circuit.KindDFF:
+				if f == 0 {
+					copy(cur[base:base+w], tr.Value(0, circuit.NodeID(id)))
+				} else {
+					copy(cur[base:base+w], prev[int(nd.Fanin[0])*w:int(nd.Fanin[0])*w+w])
+				}
+			}
+		}
+		for _, id := range tr.Order {
+			nd := c.Node(id)
+			if nd.Kind != circuit.KindGate {
+				if id == target && f == 0 {
+					base := int(id) * w
+					for i := 0; i < w; i++ {
+						cur[base+i] = ^cur[base+i]
+					}
+				}
+				continue
+			}
+			base := int(id) * w
+			for i := 0; i < w; i++ {
+				in = in[:0]
+				for _, fid := range nd.Fanin {
+					in = append(in, cur[int(fid)*w+i])
+				}
+				cur[base+i] = nd.Fn.Eval(in)
+			}
+			if id == target && f == 0 {
+				for i := 0; i < w; i++ {
+					cur[base+i] = ^cur[base+i]
+				}
+			}
+		}
+		diffs[f] = make([][]uint64, len(c.POs()))
+		for i, po := range c.POs() {
+			d := make([]uint64, w)
+			clean := tr.Value(f, po)
+			for j := 0; j < w; j++ {
+				d[j] = cur[int(po)*w+j] ^ clean[j]
+			}
+			diffs[f][i] = d
+		}
+		cur, prev = prev, cur
+	}
+	return diffs, nil
+}
+
+// EmpiricalObs runs InjectFlip and reduces the result to the fraction of
+// vectors for which the flip at target reaches any primary output in any
+// frame — the Monte-Carlo estimate of obs(target, n).
+func EmpiricalObs(tr *Trace, target circuit.NodeID) (float64, error) {
+	diffs, err := InjectFlip(tr, target)
+	if err != nil {
+		return 0, err
+	}
+	w := tr.Words
+	any := make([]uint64, w)
+	for _, frame := range diffs {
+		for _, po := range frame {
+			for j := 0; j < w; j++ {
+				any[j] |= po[j]
+			}
+		}
+	}
+	return Density(any), nil
+}

@@ -1,0 +1,140 @@
+// Package sim provides bit-parallel logic simulation of sequential
+// circuits, including the n-time-frame expansion used by signature-based
+// soft-error analysis ([17], [21] in the paper).
+//
+// Signatures are []uint64 slices: every machine word carries 64 independent
+// random simulation vectors, so one pass over the netlist simulates 64·W
+// input patterns.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"serretime/internal/circuit"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Words is the signature width in 64-bit words (K = 64·Words vectors).
+	Words int
+	// Frames is the number of time frames n for the expansion.
+	Frames int
+	// Seed makes the random vectors reproducible.
+	Seed int64
+}
+
+// DefaultConfig matches the paper's setup: 15 time frames; 256 random
+// vectors is enough for observability estimates to stabilize (see the
+// signature-width ablation bench).
+func DefaultConfig() Config { return Config{Words: 4, Frames: 15, Seed: 1} }
+
+func (cfg Config) validate() error {
+	if cfg.Words <= 0 {
+		return fmt.Errorf("sim: Words = %d, must be positive", cfg.Words)
+	}
+	if cfg.Frames <= 0 {
+		return fmt.Errorf("sim: Frames = %d, must be positive", cfg.Frames)
+	}
+	return nil
+}
+
+// Trace holds the signatures of every node in every frame of a time-frame
+// expanded simulation.
+type Trace struct {
+	Circuit *circuit.Circuit
+	Words   int
+	Frames  int
+	// Order is the combinational topological order used for evaluation.
+	Order []circuit.NodeID
+
+	vals [][]uint64 // vals[frame][int(node)*Words+w]
+}
+
+// Value returns the signature of node n in the given frame. The returned
+// slice aliases the trace; callers must not modify it.
+func (t *Trace) Value(frame int, n circuit.NodeID) []uint64 {
+	base := int(n) * t.Words
+	return t.vals[frame][base : base+t.Words]
+}
+
+// Run simulates cfg.Frames cycles of c with fresh random primary-input
+// signatures every frame and random initial flip-flop contents.
+func Run(c *circuit.Circuit, cfg Config) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{
+		Circuit: c,
+		Words:   cfg.Words,
+		Frames:  cfg.Frames,
+		Order:   order,
+		vals:    make([][]uint64, cfg.Frames),
+	}
+	n := c.NumNodes()
+	in := make([]uint64, 0, 8)
+	for f := 0; f < cfg.Frames; f++ {
+		t.vals[f] = make([]uint64, n*cfg.Words)
+		// Sources first: PIs and DFFs must hold their frame-f values
+		// before any gate reads them (the topological order may place a
+		// gate whose fanins are all sources ahead of some sources).
+		for id := 0; id < n; id++ {
+			nd := c.Node(circuit.NodeID(id))
+			base := id * cfg.Words
+			dst := t.vals[f][base : base+cfg.Words]
+			switch nd.Kind {
+			case circuit.KindPI:
+				for w := range dst {
+					dst[w] = rng.Uint64()
+				}
+			case circuit.KindDFF:
+				if f == 0 {
+					for w := range dst {
+						dst[w] = rng.Uint64()
+					}
+				} else {
+					copy(dst, t.Value(f-1, nd.Fanin[0]))
+				}
+			}
+		}
+		for _, id := range order {
+			nd := c.Node(id)
+			if nd.Kind != circuit.KindGate {
+				continue
+			}
+			base := int(id) * cfg.Words
+			dst := t.vals[f][base : base+cfg.Words]
+			for w := 0; w < cfg.Words; w++ {
+				in = in[:0]
+				for _, fid := range nd.Fanin {
+					in = append(in, t.vals[f][int(fid)*cfg.Words+w])
+				}
+				dst[w] = nd.Fn.Eval(in)
+			}
+		}
+	}
+	return t, nil
+}
+
+// PopCount returns the number of set bits in a signature.
+func PopCount(sig []uint64) int {
+	n := 0
+	for _, w := range sig {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Density returns the fraction of set bits in a signature.
+func Density(sig []uint64) float64 {
+	if len(sig) == 0 {
+		return 0
+	}
+	return float64(PopCount(sig)) / float64(64*len(sig))
+}

@@ -1,0 +1,285 @@
+package serretime
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"serretime/internal/benchfmt"
+	"serretime/internal/core"
+	"serretime/internal/elw"
+	"serretime/internal/graph"
+	"serretime/internal/retime"
+	"serretime/internal/verify"
+)
+
+// Default setup and hold times, following [23] as the paper does.
+const (
+	DefaultTs = 0.0
+	DefaultTh = 2.0
+)
+
+func elwParams(phi float64) elw.Params {
+	return elw.Params{Phi: phi, Ts: DefaultTs, Th: DefaultTh}
+}
+
+// Algorithm selects the retiming objective.
+type Algorithm uint8
+
+const (
+	// MinObsWin is the paper's contribution: register observability
+	// minimization under error-latching window constraints (Algorithm 1).
+	MinObsWin Algorithm = iota
+	// MinObs is the Efficient MinObs baseline ([17] re-solved with the
+	// incremental machinery, no ELW constraints).
+	MinObs
+	// MinArea minimizes the register count instead of observability
+	// (classic min-area retiming under the period constraint).
+	MinArea
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case MinObsWin:
+		return "MinObsWin"
+	case MinObs:
+		return "MinObs"
+	case MinArea:
+		return "MinArea"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// EngineKind selects the closed-set machinery of the optimizer.
+type EngineKind uint8
+
+const (
+	// EngineClosure is the exact max-gain-closure engine (default).
+	EngineClosure EngineKind = iota
+	// EngineForest is the paper's weighted regular forest.
+	EngineForest
+)
+
+// RetimeOptions configures Design.Retime.
+type RetimeOptions struct {
+	// Algorithm picks the objective (default MinObsWin).
+	Algorithm Algorithm
+	// Epsilon relaxes the minimal clock period (default 0.10, Section V).
+	Epsilon float64
+	// Ts and Th are setup/hold times (defaults 0 and 2).
+	Ts, Th float64
+	// Analysis tunes the observability/SER evaluation.
+	Analysis AnalysisOptions
+	// Engine selects the optimizer machinery.
+	Engine EngineKind
+	// SingleViolation repairs one violation per iteration (verbatim
+	// Algorithm 1; slower, same fixpoint).
+	SingleViolation bool
+	// LiteralGains uses the paper's literal b(v) formula instead of the
+	// eq.(5)-consistent one (ablation; see DESIGN.md).
+	LiteralGains bool
+	// AreaWeight λ adds λ·(register-count gain) to the objective — the
+	// area/power-weighted extension of the paper's Section VII.
+	AreaWeight float64
+	// Verify co-simulates the optimizer's move against the initialized
+	// circuit and fails on any output divergence.
+	Verify bool
+	// KUnits is the integer scaling of observabilities (default: the
+	// number of simulated vectors K, as in the paper).
+	KUnits int
+}
+
+// RetimeResult reports a full retiming run.
+type RetimeResult struct {
+	// Algorithm echoes the objective.
+	Algorithm Algorithm
+	// Phi is the relaxed clock period used as the P1' constraint; PhiMin
+	// the unrelaxed minimum found; Rmin the P2' shortest-path bound.
+	Phi, PhiMin, Rmin float64
+	// SetupHoldOK records whether the Section V setup+hold initialization
+	// succeeded (false = fallback to plain min-period, Rmin degenerate).
+	SetupHoldOK bool
+	// Before and After are SER analyses of the original and retimed
+	// circuits at Phi.
+	Before, After Analysis
+	// Rounds (#J) and Steps are optimizer iteration counts.
+	Rounds, Steps int
+	// Runtime is the optimizer wall time (excluding analysis).
+	Runtime time.Duration
+	// Retimed is the materialized retimed circuit.
+	Retimed *Design
+}
+
+// DeltaSER returns the relative SER change in percent (negative =
+// improvement), the paper's ΔSER columns.
+func (r *RetimeResult) DeltaSER() float64 {
+	if r.Before.SER == 0 {
+		return 0
+	}
+	return 100 * (r.After.SER - r.Before.SER) / r.Before.SER
+}
+
+// DeltaFF returns the relative flip-flop count change in percent.
+func (r *RetimeResult) DeltaFF() float64 {
+	if r.Before.SharedFFs == 0 {
+		return 0
+	}
+	return 100 * float64(r.After.SharedFFs-r.Before.SharedFFs) / float64(r.Before.SharedFFs)
+}
+
+// Retime runs the full pipeline of the paper: Section V initialization
+// (setup+hold min-period retiming, ε relaxation, Rmin selection), then the
+// selected optimizer, then SER evaluation of the result.
+func (d *Design) Retime(opt RetimeOptions) (*RetimeResult, error) {
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 0.10
+	}
+	if opt.Ts == 0 {
+		opt.Ts = DefaultTs
+	}
+	if opt.Th == 0 {
+		opt.Th = DefaultTh
+	}
+	if err := d.ensureObs(opt.Analysis); err != nil {
+		return nil, err
+	}
+
+	init, err := retime.Initialize(d.g, retime.Options{Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	base, err := d.g.Rebase(init.R)
+	if err != nil {
+		return nil, err
+	}
+
+	k := opt.KUnits
+	if k == 0 {
+		k = 64 * opt.Analysis.normalized().SignatureWords
+	}
+	gainsFn := core.Gains
+	if opt.LiteralGains {
+		gainsFn = core.GainsLiteral
+	}
+	gateObs, edgeObs := d.gateObs, d.edgeObs
+	if opt.Algorithm == MinArea {
+		// Min-area: every register costs 1 regardless of position.
+		gateObs = ones(len(d.gateObs))
+		edgeObs = ones(len(d.edgeObs))
+	}
+	gains, obsInt, err := gainsFn(base, gateObs, edgeObs, k)
+	if err != nil {
+		return nil, err
+	}
+	if opt.AreaWeight != 0 && opt.Algorithm != MinArea {
+		areaGains, _, err := core.Gains(base, ones(len(gateObs)), ones(len(edgeObs)), k)
+		if err != nil {
+			return nil, err
+		}
+		lambda := opt.AreaWeight
+		for v := range gains {
+			gains[v] += int64(lambda * float64(areaGains[v]))
+		}
+	}
+
+	copt := core.Options{
+		Phi: init.Phi, Ts: opt.Ts, Th: opt.Th, Rmin: init.Rmin,
+		ELWConstraints:  opt.Algorithm == MinObsWin,
+		SingleViolation: opt.SingleViolation,
+	}
+	if opt.Engine == EngineForest {
+		copt.Engine = core.EngineForest
+	}
+	start := time.Now()
+	cres, err := core.Minimize(base, gains, obsInt, copt)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	if opt.Verify {
+		if err := d.verifyMove(init.R, cres.R); err != nil {
+			return nil, err
+		}
+	}
+
+	// Total retiming relative to the original circuit.
+	total := init.R.Clone()
+	for v := range total {
+		total[v] += cres.R[v]
+	}
+	rb, err := graph.Rebuild(d.c, d.g, total)
+	if err != nil {
+		return nil, err
+	}
+	retimed, err := newDesign(rb.C)
+	if err != nil {
+		return nil, err
+	}
+
+	before, err := d.analyzeAt(d.g, graph.NewRetiming(d.g), init.Phi, opt.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	after, err := d.analyzeAt(d.g, total, init.Phi, opt.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	return &RetimeResult{
+		Algorithm: opt.Algorithm,
+		Phi:       init.Phi, PhiMin: init.PhiMin, Rmin: init.Rmin,
+		SetupHoldOK: init.SetupHoldOK,
+		Before:      *before, After: *after,
+		Rounds: cres.Rounds, Steps: cres.Steps,
+		Runtime: elapsed,
+		Retimed: retimed,
+	}, nil
+}
+
+// verifyMove checks sequential equivalence of the optimizer's (forward)
+// move against the initialized circuit by exact state transport and
+// co-simulation.
+func (d *Design) verifyMove(initR graph.Retiming, moveR graph.Retiming) error {
+	rb, err := graph.Rebuild(d.c, d.g, initR)
+	if err != nil {
+		return err
+	}
+	g1, err := graph.FromCircuit(rb.C, nil)
+	if err != nil {
+		return err
+	}
+	// Transfer the move onto the rebuilt circuit's graph by gate name.
+	r1 := graph.NewRetiming(g1)
+	for v := 1; v < d.g.NumVertices(); v++ {
+		if moveR[v] == 0 {
+			continue
+		}
+		n1, ok := rb.C.Lookup(d.g.Name(graph.VertexID(v)))
+		if !ok {
+			return fmt.Errorf("serretime: verify: gate %q lost in rebuild", d.g.Name(graph.VertexID(v)))
+		}
+		v1, ok := g1.VertexOf(n1)
+		if !ok {
+			return fmt.Errorf("serretime: verify: gate %q not in rebuilt graph", d.g.Name(graph.VertexID(v)))
+		}
+		r1[v1] = moveR[v]
+	}
+	return verify.ForwardEquivalent(rb.C, g1, r1, verify.DefaultOptions())
+}
+
+func ones(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// String renders the design's netlist in .bench syntax.
+func (d *Design) String() string {
+	var buf bytes.Buffer
+	if err := benchfmt.Write(&buf, d.c); err != nil {
+		return fmt.Sprintf("<error: %v>", err)
+	}
+	return buf.String()
+}

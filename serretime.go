@@ -1,0 +1,325 @@
+// Package serretime is a soft-error-aware retiming toolkit for gate-level
+// sequential circuits, reproducing and extending:
+//
+//	Yinghai Lu and Hai Zhou. "Retiming for Soft Error Minimization Under
+//	Error-Latching Window Constraints." DATE 2013.
+//
+// The package wraps the full pipeline: netlist loading (.bench) or
+// synthesis, signature-based observability analysis with n-time-frame
+// expansion (logic masking), error-latching-window analysis (timing
+// masking), SER evaluation per eq. (4) of the paper, and the retiming
+// optimizers — the Efficient MinObs baseline of Krishnaswamy et al. and
+// the paper's MinObsWin algorithm, plus a min-area mode and the
+// area-weighted objective sketched in the paper's conclusion.
+//
+// Typical use:
+//
+//	d, _ := serretime.LoadBench("s27.bench")
+//	res, _ := d.Retime(serretime.RetimeOptions{Algorithm: serretime.MinObsWin})
+//	fmt.Printf("SER %.3g -> %.3g\n", res.Before.SER, res.After.SER)
+package serretime
+
+import (
+	"io"
+	"strings"
+
+	"serretime/internal/benchfmt"
+	"serretime/internal/bliffmt"
+	"serretime/internal/circuit"
+	"serretime/internal/gen"
+	"serretime/internal/graph"
+	"serretime/internal/obs"
+	"serretime/internal/ser"
+	"serretime/internal/sim"
+	"serretime/internal/vlogfmt"
+)
+
+// Design bundles a circuit with its retiming graph and cached analyses.
+type Design struct {
+	c *circuit.Circuit
+	g *graph.Graph
+
+	// cached observability analysis, keyed by the options that built it
+	obsOpt  AnalysisOptions
+	gateObs []float64
+	edgeObs []float64
+	rates   []float64
+	regRate float64
+}
+
+// newDesign extracts the retiming graph and validates the circuit.
+func newDesign(c *circuit.Circuit) (*Design, error) {
+	g, err := graph.FromCircuit(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{c: c, g: g}, nil
+}
+
+// LoadBench reads an ISCAS89 .bench netlist from a file.
+func LoadBench(path string) (*Design, error) {
+	c, err := benchfmt.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// ParseBench reads a .bench netlist from a reader.
+func ParseBench(r io.Reader, name string) (*Design, error) {
+	c, err := benchfmt.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// WriteBench writes the design's netlist in .bench syntax.
+func (d *Design) WriteBench(w io.Writer) error { return benchfmt.Write(w, d.c) }
+
+// LoadBLIF reads a structural BLIF netlist from a file.
+func LoadBLIF(path string) (*Design, error) {
+	c, err := bliffmt.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// ParseBLIF reads a structural BLIF netlist from a reader.
+func ParseBLIF(r io.Reader, name string) (*Design, error) {
+	c, err := bliffmt.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// WriteBLIF writes the design's netlist in BLIF syntax.
+func (d *Design) WriteBLIF(w io.Writer) error { return bliffmt.Write(w, d.c) }
+
+// LoadVerilog reads a gate-level structural Verilog netlist from a file.
+func LoadVerilog(path string) (*Design, error) {
+	c, err := vlogfmt.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// ParseVerilog reads a gate-level structural Verilog netlist from a reader.
+func ParseVerilog(r io.Reader, name string) (*Design, error) {
+	c, err := vlogfmt.Parse(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// WriteVerilog writes the design as gate-level structural Verilog (net
+// names are sanitized to legal identifiers).
+func (d *Design) WriteVerilog(w io.Writer) error { return vlogfmt.Write(w, d.c) }
+
+// Load reads a netlist, picking the format from the file extension
+// (.blif = BLIF, .v = structural Verilog, anything else = ISCAS89 .bench).
+func Load(path string) (*Design, error) {
+	switch {
+	case strings.HasSuffix(path, ".blif"):
+		return LoadBLIF(path)
+	case strings.HasSuffix(path, ".v"):
+		return LoadVerilog(path)
+	}
+	return LoadBench(path)
+}
+
+// CircuitSpec prescribes a synthetic benchmark circuit (see the paper's
+// Table I for the regimes it evaluates).
+type CircuitSpec struct {
+	// Name identifies and seeds the circuit.
+	Name string
+	// Gates, Conns, FFs are the gate, connection and flip-flop counts.
+	Gates, Conns, FFs int
+	// Depth is the target logic depth (0 = derived from Gates).
+	Depth int
+	// FanoutSkew trades dead-logic coverage for fanout/length diversity
+	// (see internal/gen); default 0.05.
+	FanoutSkew float64
+	// Seed overrides the name-derived seed when nonzero.
+	Seed int64
+}
+
+// Synthesize generates a seeded synthetic circuit with the prescribed
+// statistics.
+func Synthesize(spec CircuitSpec) (*Design, error) {
+	c, err := gen.Generate(gen.Spec{
+		Name: spec.Name, Gates: spec.Gates, Conns: spec.Conns,
+		FFs: spec.FFs, Depth: spec.Depth, Seed: spec.Seed,
+		FanoutSkew: spec.FanoutSkew,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// TableICircuits lists the benchmark names of the paper's Table I.
+func TableICircuits() []string {
+	names := make([]string, len(gen.TableI))
+	for i, s := range gen.TableI {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// NewTableIDesign synthesizes the substitute for a Table I benchmark.
+// scale > 1 shrinks all counts by that factor (the structure and
+// clock-period regime are preserved), which keeps the largest circuits
+// tractable on small machines.
+func NewTableIDesign(name string, scale int) (*Design, error) {
+	s, err := gen.FindTableI(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := gen.Generate(s.Scale(scale).Spec)
+	if err != nil {
+		return nil, err
+	}
+	return newDesign(c)
+}
+
+// Name returns the design name.
+func (d *Design) Name() string { return d.c.Name }
+
+// Stats summarizes the design.
+type Stats struct {
+	PIs, POs, Gates, FFs int
+	// Vertices and Edges are the retiming-graph sizes (|V| counts
+	// combinational gates; |E| counts pin connections plus output nets).
+	Vertices, Edges int
+	// Depth is the maximum combinational gate depth.
+	Depth int
+}
+
+// Stats computes the design's summary statistics.
+func (d *Design) Stats() (Stats, error) {
+	cs, err := d.c.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		PIs: cs.PIs, POs: cs.POs, Gates: cs.Gates, FFs: cs.DFFs,
+		Vertices: d.g.NumGates(), Edges: d.g.NumEdges(), Depth: cs.Depth,
+	}, nil
+}
+
+// AnalysisOptions tunes the observability/SER analysis.
+type AnalysisOptions struct {
+	// Frames is the time-frame expansion depth n (default 15, as in the
+	// paper).
+	Frames int
+	// SignatureWords is the random-vector width in 64-bit words
+	// (default 4 = 256 vectors).
+	SignatureWords int
+	// Seed drives the random simulation vectors (default 1).
+	Seed int64
+	// MaxIntervals caps per-gate ELW interval counts; 0 keeps windows
+	// exact.
+	MaxIntervals int
+}
+
+func (o AnalysisOptions) normalized() AnalysisOptions {
+	if o.Frames == 0 {
+		o.Frames = 15
+	}
+	if o.SignatureWords == 0 {
+		o.SignatureWords = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ensureObs computes (or reuses) the observability analysis of the
+// original circuit; gate observabilities are invariant under retiming
+// (Section III-B), so one analysis serves every retimed variant.
+func (d *Design) ensureObs(opt AnalysisOptions) error {
+	opt = opt.normalized()
+	if d.gateObs != nil && d.obsOpt == opt {
+		return nil
+	}
+	tr, err := sim.Run(d.c, sim.Config{Words: opt.SignatureWords, Frames: opt.Frames, Seed: opt.Seed})
+	if err != nil {
+		return err
+	}
+	res, err := obs.Compute(tr, obs.Options{})
+	if err != nil {
+		return err
+	}
+	gateObs, err := ser.VertexObs(d.c, d.g, res)
+	if err != nil {
+		return err
+	}
+	edgeObs, err := ser.EdgeObs(d.c, d.g, gateObs, res)
+	if err != nil {
+		return err
+	}
+	rates, err := ser.VertexRates(d.c, d.g, nil)
+	if err != nil {
+		return err
+	}
+	d.obsOpt = opt
+	d.gateObs = gateObs
+	d.edgeObs = edgeObs
+	d.rates = rates
+	d.regRate = ser.SyntheticRates{}.RegisterRate()
+	return nil
+}
+
+// Analysis is a SER evaluation of the design under a clock period.
+type Analysis struct {
+	// SER is the total soft error rate per eq. (4); GateSER and
+	// RegisterSER are its two terms.
+	SER, GateSER, RegisterSER float64
+	// Registers counts per-edge registers; SharedFFs counts physical
+	// flip-flops under max sharing.
+	Registers, SharedFFs int64
+	// RegisterObs is the summed register observability (eq. 5), the
+	// MinObs objective.
+	RegisterObs float64
+	// Phi is the clock period used.
+	Phi float64
+}
+
+// Analyze evaluates the SER of the unretimed design at clock period phi
+// (0 = the design's combinational critical path, unrelaxed).
+func (d *Design) Analyze(phi float64, opt AnalysisOptions) (*Analysis, error) {
+	if err := d.ensureObs(opt); err != nil {
+		return nil, err
+	}
+	return d.analyzeAt(d.g, graph.NewRetiming(d.g), phi, opt)
+}
+
+func (d *Design) analyzeAt(g *graph.Graph, r graph.Retiming, phi float64, opt AnalysisOptions) (*Analysis, error) {
+	opt = opt.normalized()
+	if phi <= 0 {
+		_, crit, err := g.ArrivalTimes(r)
+		if err != nil {
+			return nil, err
+		}
+		phi = crit
+	}
+	in := ser.Inputs{
+		GateObs: d.gateObs, EdgeObs: d.edgeObs, GateRate: d.rates,
+		RegRate: d.regRate, Params: elwParams(phi), MaxIntervals: opt.MaxIntervals,
+	}
+	an, err := ser.Compute(g, r, in)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		SER: an.Total, GateSER: an.Gates, RegisterSER: an.Registers,
+		Registers: an.NumRegisters, SharedFFs: an.SharedRegisters,
+		RegisterObs: an.RegisterObs, Phi: phi,
+	}, nil
+}

@@ -1,0 +1,303 @@
+package serretime
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadBenchAndStats(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gates != 10 || st.FFs != 3 || st.PIs != 4 || st.POs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Vertices != 10 || st.Edges != 19 {
+		t.Fatalf("graph sizes = %d/%d", st.Vertices, st.Edges)
+	}
+	if d.Name() != "s27" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestParseBenchRoundTrip(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseBench(&buf, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.Stats()
+	s2, _ := d2.Stats()
+	if s1 != s2 {
+		t.Fatalf("round trip stats: %+v vs %+v", s1, s2)
+	}
+	if !strings.Contains(d.String(), "INPUT(G0)") {
+		t.Fatal("String() not bench syntax")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := d.Analyze(0, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SER <= 0 || an.GateSER <= 0 || an.RegisterSER < 0 {
+		t.Fatalf("analysis = %+v", an)
+	}
+	if an.SharedFFs != 3 {
+		t.Fatalf("FFs = %d", an.SharedFFs)
+	}
+	if an.Phi <= 0 {
+		t.Fatal("no default phi")
+	}
+	// Larger phi widens relative timing masking: SER falls.
+	an2, err := d.Analyze(10*an.Phi, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an2.SER >= an.SER {
+		t.Fatalf("SER did not fall with slower clock: %g vs %g", an2.SER, an.SER)
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	d, err := Synthesize(CircuitSpec{Name: "t1", Gates: 200, Conns: 450, FFs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Stats()
+	if st.Gates != 200 {
+		t.Fatalf("gates = %d", st.Gates)
+	}
+	if _, err := Synthesize(CircuitSpec{Name: "bad", Gates: 1, Conns: 1, FFs: 0}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestTableIList(t *testing.T) {
+	names := TableICircuits()
+	if len(names) != 21 {
+		t.Fatalf("%d circuits", len(names))
+	}
+	if _, err := NewTableIDesign("nope", 1); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+	d, err := NewTableIDesign("b14_1_opt", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Stats()
+	if st.Gates != 4049/8 {
+		t.Fatalf("scaled gates = %d", st.Gates)
+	}
+}
+
+func TestRetimeMinObsWinOnS27(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Retime(RetimeOptions{Algorithm: MinObsWin, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phi <= 0 || res.Phi < res.PhiMin {
+		t.Fatalf("phi %g / phimin %g", res.Phi, res.PhiMin)
+	}
+	if res.After.SER <= 0 {
+		t.Fatalf("after = %+v", res.After)
+	}
+	if res.Retimed == nil {
+		t.Fatal("no retimed design")
+	}
+	if err := res.Retimed.c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The retimed netlist has the same combinational gates.
+	st, _ := res.Retimed.Stats()
+	if st.Gates != 10 {
+		t.Fatalf("retimed gates = %d", st.Gates)
+	}
+}
+
+func TestRetimeAlgorithmsOnSynthetic(t *testing.T) {
+	d, err := Synthesize(CircuitSpec{Name: "algos", Gates: 400, Conns: 900, FFs: 120, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Retime(RetimeOptions{Algorithm: MinObs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := d.Retime(RetimeOptions{Algorithm: MinObsWin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, err := d.Retime(RetimeOptions{Algorithm: MinArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinObs minimizes register observability at least as well as
+	// MinObsWin (which carries extra constraints).
+	if base.After.RegisterObs > win.After.RegisterObs+1e-9 {
+		t.Fatalf("MinObs obs %g > MinObsWin %g", base.After.RegisterObs, win.After.RegisterObs)
+	}
+	// MinArea minimizes per-edge registers at least as well as either.
+	if area.After.Registers > base.After.Registers || area.After.Registers > win.After.Registers {
+		t.Fatalf("MinArea regs %d vs MinObs %d / Win %d",
+			area.After.Registers, base.After.Registers, win.After.Registers)
+	}
+	for _, r := range []*RetimeResult{base, win, area} {
+		if r.DeltaSER() > 60 {
+			t.Fatalf("%v worsened SER by %.1f%%", r.Algorithm, r.DeltaSER())
+		}
+	}
+}
+
+func TestRetimeVerifiedMoveOnSynthetic(t *testing.T) {
+	d, err := Synthesize(CircuitSpec{Name: "verif", Gates: 150, Conns: 340, FFs: 45, Depth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Retime(RetimeOptions{Algorithm: MinObsWin, Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Retime(RetimeOptions{Algorithm: MinObs, Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetimeEnginesAgree(t *testing.T) {
+	d, err := Synthesize(CircuitSpec{Name: "eng", Gates: 250, Conns: 560, FFs: 70, Depth: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := d.Retime(RetimeOptions{Algorithm: MinObsWin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := d.Retime(RetimeOptions{Algorithm: MinObsWin, Engine: EngineForest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.After.RegisterObs > fo.After.RegisterObs+1e-9 {
+		t.Fatalf("closure engine (%g) worse than forest (%g)",
+			cl.After.RegisterObs, fo.After.RegisterObs)
+	}
+}
+
+func TestRetimeAreaWeight(t *testing.T) {
+	d, err := Synthesize(CircuitSpec{Name: "aw", Gates: 300, Conns: 680, FFs: 90, Depth: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := d.Retime(RetimeOptions{Algorithm: MinObsWin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := d.Retime(RetimeOptions{Algorithm: MinObsWin, AreaWeight: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted objective trades observability for registers: it must
+	// not use more registers than the plain run... it may tie.
+	if weighted.After.Registers > plain.After.Registers {
+		t.Fatalf("area weight increased registers: %d > %d",
+			weighted.After.Registers, plain.After.Registers)
+	}
+}
+
+func TestBLIFRoundTripAPI(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseBLIF(&buf, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.Stats()
+	s2, _ := d2.Stats()
+	if s1 != s2 {
+		t.Fatalf("BLIF round trip stats: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestCriticalElements(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := d.CriticalElements(0, 5, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crit) != 5 {
+		t.Fatalf("got %d contributors", len(crit))
+	}
+	var share float64
+	for i, c := range crit {
+		if c.SER <= 0 || c.Share <= 0 || c.Share > 1 {
+			t.Fatalf("contributor %d: %+v", i, c)
+		}
+		if i > 0 && c.SER > crit[i-1].SER {
+			t.Fatal("not sorted by SER")
+		}
+		if c.Kind != "gate" && c.Kind != "register" {
+			t.Fatalf("bad kind %q", c.Kind)
+		}
+		share += c.Share
+	}
+	if share > 1+1e-9 {
+		t.Fatalf("shares sum to %g", share)
+	}
+	// Unlimited listing covers every positive contributor.
+	all, err := d.CriticalElements(0, 0, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < len(crit) {
+		t.Fatal("unlimited listing shorter than top-5")
+	}
+}
+
+func TestVerilogRoundTripAPI(t *testing.T) {
+	d, err := LoadBench("testdata/s27.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseVerilog(&buf, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.Stats()
+	s2, _ := d2.Stats()
+	if s1 != s2 {
+		t.Fatalf("Verilog round trip stats: %+v vs %+v", s1, s2)
+	}
+}
