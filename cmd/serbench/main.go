@@ -10,15 +10,24 @@
 // therefore differ; the comparison targets the shape: who wins, by what
 // factor, and where the two algorithms coincide.
 //
+// Every circuit runs under panic isolation and the graceful-degradation
+// chain of serretime.RetimeRobust: a crash, stall, or timeout in one
+// circuit is reported as a failed (or degraded) row while the rest of
+// the sweep completes. The exit status is 0 only when every row is a
+// full-strength result; 2 when some rows degraded; 1 when any failed.
+//
 // Usage:
 //
 //	serbench [-scale auto|N] [-circuits name,name,...] [-parallel N]
 //	         [-frames N] [-words N] [-engine closure|forest] [-verify]
+//	         [-timeout D] [-retries N] [-stallsteps N] [-faultinject names]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,6 +37,7 @@ import (
 
 	"serretime"
 	"serretime/internal/gen"
+	"serretime/internal/guard"
 )
 
 type row struct {
@@ -38,39 +48,87 @@ type row struct {
 	shOK             bool
 	serOrig          float64
 	ref, win         *serretime.RetimeResult
+	refTier, winTier serretime.Tier
+	degraded         bool
 	refTime, winTime time.Duration
 	err              error
 	paper            gen.TableISpec
 }
 
+// status renders the row's outcome for the table's status column.
+func (r *row) status() string {
+	switch {
+	case r.err != nil:
+		return "failed"
+	case r.degraded:
+		return "degraded:" + r.winTier.String()
+	}
+	return "ok"
+}
+
+type config struct {
+	scaleFlag   string
+	circuits    string
+	parallel    int
+	frames      int
+	words       int
+	engine      string
+	verify      bool
+	autoCap     int
+	timeout     time.Duration
+	retries     int
+	stallSteps  int
+	faultInject string
+}
+
 func main() {
-	var (
-		scaleFlag = flag.String("scale", "auto", "shrink factor: auto, or an integer >= 1 applied to every circuit")
-		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: all 21 of Table I)")
-		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "circuits processed concurrently")
-		frames    = flag.Int("frames", 15, "time-frame expansion depth n")
-		words     = flag.Int("words", 4, "signature width in 64-bit words")
-		engine    = flag.String("engine", "closure", "optimizer engine: closure or forest")
-		verify    = flag.Bool("verify", false, "co-simulate every optimizer move for sequential equivalence")
-		autoCap   = flag.Int("autocap", 12000, "with -scale auto, target gate count per circuit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, sweeps the circuits,
+// prints the table to stdout, and returns the process exit code
+// (0 = all rows full strength, 2 = some degraded, 1 = some failed).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.scaleFlag, "scale", "auto", "shrink factor: auto, or an integer >= 1 applied to every circuit")
+	fs.StringVar(&cfg.circuits, "circuits", "", "comma-separated circuit names (default: all 21 of Table I)")
+	fs.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "circuits processed concurrently")
+	fs.IntVar(&cfg.frames, "frames", 15, "time-frame expansion depth n")
+	fs.IntVar(&cfg.words, "words", 4, "signature width in 64-bit words")
+	fs.StringVar(&cfg.engine, "engine", "closure", "optimizer engine: closure or forest")
+	fs.BoolVar(&cfg.verify, "verify", false, "co-simulate every optimizer move for sequential equivalence")
+	fs.IntVar(&cfg.autoCap, "autocap", 12000, "with -scale auto, target gate count per circuit")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-attempt wall-clock budget per circuit (0 = unbounded)")
+	fs.IntVar(&cfg.retries, "retries", 0, "extra attempts per degradation tier after a transient failure")
+	fs.IntVar(&cfg.stallSteps, "stallsteps", 0, "abort an optimizer run after this many steps without improvement (0 = off)")
+	fs.StringVar(&cfg.faultInject, "faultinject", "", "comma-separated circuit names whose runs are fault-injected (testing)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	names := serretime.TableICircuits()
-	if *circuits != "" {
-		names = strings.Split(*circuits, ",")
+	if cfg.circuits != "" {
+		names = strings.Split(cfg.circuits, ",")
 	}
 	eng := serretime.EngineClosure
-	if *engine == "forest" {
+	if cfg.engine == "forest" {
 		eng = serretime.EngineForest
-	} else if *engine != "closure" {
-		fmt.Fprintf(os.Stderr, "serbench: unknown engine %q\n", *engine)
-		os.Exit(2)
+	} else if cfg.engine != "closure" {
+		fmt.Fprintf(stderr, "serbench: unknown engine %q\n", cfg.engine)
+		return 2
+	}
+	if cfg.faultInject != "" {
+		for _, n := range strings.Split(cfg.faultInject, ",") {
+			guard.ArmFailpoint("serbench.circuit:" + n)
+			defer guard.DisarmFailpoint("serbench.circuit:" + n)
+		}
 	}
 
 	rows := make([]*row, len(names))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(*parallel, 1))
+	sem := make(chan struct{}, maxInt(cfg.parallel, 1))
 	for i, name := range names {
 		i, name := i, name
 		wg.Add(1)
@@ -78,15 +136,51 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = runOne(name, *scaleFlag, *autoCap, *frames, *words, eng, *verify)
+			rows[i] = runOne(name, cfg, eng)
 		}()
 	}
 	wg.Wait()
-	printTable(rows)
+	printTable(stdout, rows)
+
+	var failed, degraded []string
+	for _, r := range rows {
+		switch {
+		case r == nil:
+		case r.err != nil:
+			failed = append(failed, r.name)
+		case r.degraded:
+			degraded = append(degraded, r.name)
+		}
+	}
+	switch {
+	case len(failed) > 0:
+		fmt.Fprintf(stderr, "serbench: %d circuit(s) FAILED: %s", len(failed), strings.Join(failed, ", "))
+		if len(degraded) > 0 {
+			fmt.Fprintf(stderr, "; %d degraded: %s", len(degraded), strings.Join(degraded, ", "))
+		}
+		fmt.Fprintln(stderr)
+		return 1
+	case len(degraded) > 0:
+		fmt.Fprintf(stderr, "serbench: %d circuit(s) degraded: %s\n", len(degraded), strings.Join(degraded, ", "))
+		return 2
+	}
+	return 0
 }
 
-func runOne(name, scaleFlag string, autoCap, frames, words int, eng serretime.EngineKind, verify bool) *row {
+func runOne(name string, cfg config, eng serretime.EngineKind) *row {
 	r := &row{name: name}
+	ctx := context.Background()
+
+	// Test hook: a fault armed for this circuit panics here; guard.Run
+	// turns it into a failed row instead of a crashed sweep.
+	if err := guard.Run(ctx, "serbench."+name, func(context.Context) error {
+		guard.Failpoint("serbench.circuit:" + name)
+		return nil
+	}); err != nil {
+		r.err = err
+		return r
+	}
+
 	spec, err := gen.FindTableI(name)
 	if err != nil {
 		r.err = err
@@ -94,13 +188,13 @@ func runOne(name, scaleFlag string, autoCap, frames, words int, eng serretime.En
 	}
 	r.paper = spec
 	r.scale = 1
-	switch scaleFlag {
+	switch cfg.scaleFlag {
 	case "auto":
-		r.scale = (spec.Gates + autoCap - 1) / autoCap
+		r.scale = (spec.Gates + cfg.autoCap - 1) / cfg.autoCap
 	default:
-		n, err := strconv.Atoi(scaleFlag)
+		n, err := strconv.Atoi(cfg.scaleFlag)
 		if err != nil || n < 1 {
-			r.err = fmt.Errorf("bad -scale %q", scaleFlag)
+			r.err = fmt.Errorf("bad -scale %q", cfg.scaleFlag)
 			return r
 		}
 		r.scale = n
@@ -115,39 +209,50 @@ func runOne(name, scaleFlag string, autoCap, frames, words int, eng serretime.En
 		r.err = err
 		return r
 	}
-	opts := serretime.RetimeOptions{
-		Algorithm: serretime.MinObs,
-		Analysis:  serretime.AnalysisOptions{Frames: frames, SignatureWords: words},
-		Engine:    eng,
-		Verify:    verify,
+	ropt := serretime.RobustOptions{
+		RetimeOptions: serretime.RetimeOptions{
+			Algorithm:  serretime.MinObs,
+			Analysis:   serretime.AnalysisOptions{Frames: cfg.frames, SignatureWords: cfg.words},
+			Engine:     eng,
+			Verify:     cfg.verify,
+			StallSteps: cfg.stallSteps,
+		},
+		Timeout: cfg.timeout,
+		Retries: cfg.retries,
 	}
 	start := time.Now()
-	r.ref, err = d.Retime(opts)
+	refRes, err := d.RetimeRobust(ctx, ropt)
 	r.refTime = time.Since(start)
 	if err != nil {
 		r.err = err
 		return r
 	}
-	opts.Algorithm = serretime.MinObsWin
+	r.ref, r.refTier = refRes.RetimeResult, refRes.Tier
+	r.degraded = r.degraded || refRes.Degraded
+
+	ropt.Algorithm = serretime.MinObsWin
 	start = time.Now()
-	r.win, err = d.Retime(opts)
+	winRes, err := d.RetimeRobust(ctx, ropt)
 	r.winTime = time.Since(start)
 	if err != nil {
 		r.err = err
 		return r
 	}
+	r.win, r.winTier = winRes.RetimeResult, winRes.Tier
+	r.degraded = r.degraded || winRes.Degraded
+
 	r.phi = r.win.Phi
 	r.shOK = r.win.SetupHoldOK
 	r.serOrig = r.win.Before.SER
 	return r
 }
 
-func printTable(rows []*row) {
-	fmt.Println("Reproduction of Table I (Lu & Zhou, DATE 2013) on synthetic substitutes")
-	fmt.Println("paper columns in [brackets]; ratio = SER_ref / SER_new")
-	fmt.Println()
-	fmt.Printf("%-12s %5s %7s %8s %7s %6s %3s %9s | %8s %8s %7s | %8s %8s %7s %3s | %7s %7s\n",
-		"circuit", "scale", "|V|", "|E|", "#FF", "phi", "sh", "SER",
+func printTable(w io.Writer, rows []*row) {
+	fmt.Fprintln(w, "Reproduction of Table I (Lu & Zhou, DATE 2013) on synthetic substitutes")
+	fmt.Fprintln(w, "paper columns in [brackets]; ratio = SER_ref / SER_new")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-10s %5s %7s %8s %7s %6s %3s %9s | %8s %8s %7s | %8s %8s %7s %3s | %7s %7s\n",
+		"circuit", "status", "scale", "|V|", "|E|", "#FF", "phi", "sh", "SER",
 		"dSERref", "[paper]", "t_ref", "dSERnew", "[paper]", "t_new", "#J", "ratio", "[paper]")
 	var sumRef, sumWin, sumRatio float64
 	var n int
@@ -156,7 +261,7 @@ func printTable(rows []*row) {
 			continue
 		}
 		if r.err != nil {
-			fmt.Printf("%-12s ERROR: %v\n", r.name, r.err)
+			fmt.Fprintf(w, "%-12s %-10s ERROR: %v\n", r.name, r.status(), r.err)
 			continue
 		}
 		ratio := 100.0
@@ -167,8 +272,8 @@ func printTable(rows []*row) {
 		if r.shOK {
 			sh = "yes"
 		}
-		fmt.Printf("%-12s %5d %7d %8d %7d %6.1f %3s %9.2e | %7.2f%% %7.2f%% %6.2fs | %7.2f%% %7.2f%% %6.2fs %3d | %6.1f%% %6.0f%%\n",
-			r.name, r.scale, r.stats.Vertices, r.stats.Edges, int64(r.win.Before.SharedFFs),
+		fmt.Fprintf(w, "%-12s %-10s %5d %7d %8d %7d %6.1f %3s %9.2e | %7.2f%% %7.2f%% %6.2fs | %7.2f%% %7.2f%% %6.2fs %3d | %6.1f%% %6.0f%%\n",
+			r.name, r.status(), r.scale, r.stats.Vertices, r.stats.Edges, int64(r.win.Before.SharedFFs),
 			r.phi, sh, r.serOrig,
 			r.ref.DeltaSER(), r.paper.PaperDSERRef, r.refTime.Seconds(),
 			r.win.DeltaSER(), r.paper.PaperDSERNew, r.winTime.Seconds(), r.win.Rounds,
@@ -179,18 +284,18 @@ func printTable(rows []*row) {
 		n++
 	}
 	if n > 0 {
-		fmt.Printf("%-12s %s\n", "AVG.", strings.Repeat("-", 40))
-		fmt.Printf("%-12s mean dSER: MinObs %.2f%% [paper -26.70%%]   MinObsWin %.2f%% [paper -32.70%%]   mean ratio %.1f%% [paper 115%%]\n",
+		fmt.Fprintf(w, "%-12s %s\n", "AVG.", strings.Repeat("-", 40))
+		fmt.Fprintf(w, "%-12s mean dSER: MinObs %.2f%% [paper -26.70%%]   MinObsWin %.2f%% [paper -32.70%%]   mean ratio %.1f%% [paper 115%%]\n",
 			"", sumRef/float64(n), sumWin/float64(n), sumRatio/float64(n))
 	}
 	// Register deltas, compactly.
-	fmt.Println()
-	fmt.Printf("%-12s %9s %9s | %9s %9s\n", "circuit", "dFFref", "[paper]", "dFFnew", "[paper]")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %9s %9s | %9s %9s\n", "circuit", "dFFref", "[paper]", "dFFnew", "[paper]")
 	for _, r := range rows {
 		if r == nil || r.err != nil {
 			continue
 		}
-		fmt.Printf("%-12s %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
+		fmt.Fprintf(w, "%-12s %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
 			r.name, r.ref.DeltaFF(), r.paper.PaperDFFRef, r.win.DeltaFF(), r.paper.PaperDFFNew)
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"serretime"
+)
+
+// sweepArgs shrinks every circuit to the 16-gate floor and uses a
+// minimal analysis so the full 21-circuit sweep stays fast.
+var sweepArgs = []string{"-scale", "100000", "-frames", "2", "-words", "1", "-timeout", "60s"}
+
+// TestFullSweep runs all 21 Table I circuits end to end and requires a
+// clean exit: every row ok, none degraded, none failed.
+func TestFullSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(sweepArgs, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	for _, name := range tableINames(t) {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("row for %s missing from output", name)
+		}
+	}
+	if strings.Contains(out.String(), "ERROR") {
+		t.Fatalf("unexpected ERROR row:\n%s", out.String())
+	}
+}
+
+// TestFaultInjectedSweep arms a failpoint for one circuit: its row must
+// report failed, every other circuit must still complete, and the exit
+// code must be non-zero.
+func TestFaultInjectedSweep(t *testing.T) {
+	const victim = "s35932"
+	args := append([]string{"-faultinject", victim}, sweepArgs...)
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(errOut.String(), "FAILED: "+victim) {
+		t.Errorf("stderr summary does not name the failed circuit:\n%s", errOut.String())
+	}
+	sawVictim := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, victim+" ") {
+			continue
+		}
+		sawVictim = true
+		if !strings.Contains(line, "failed") || !strings.Contains(line, "ERROR") {
+			t.Errorf("victim row not reported as failed: %q", line)
+		}
+		if !strings.Contains(line, "injected fault") {
+			t.Errorf("victim row does not carry the injected-fault cause: %q", line)
+		}
+	}
+	if !sawVictim {
+		t.Fatalf("no row for fault-injected circuit %s:\n%s", victim, out.String())
+	}
+	// Every other circuit still produced a full-strength row.
+	for _, name := range tableINames(t) {
+		if name == victim {
+			continue
+		}
+		found := false
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, name+" ") && strings.Contains(line, " ok ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("circuit %s did not complete ok alongside the injected fault", name)
+		}
+	}
+}
+
+// TestBadFlags checks that configuration errors exit 2 without running.
+func TestBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "quantum"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad engine: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scale", "zero", "-circuits", "s27", "-frames", "2", "-words", "1"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad scale: exit %d, want 1 (failed row)", code)
+	}
+}
+
+func tableINames(t *testing.T) []string {
+	t.Helper()
+	names := serretime.TableICircuits()
+	if len(names) != 21 {
+		t.Fatalf("Table I has %d circuits, want 21", len(names))
+	}
+	return names
+}

@@ -23,16 +23,24 @@ import (
 	"strings"
 
 	"serretime/internal/circuit"
+	"serretime/internal/guard"
 )
 
-// ParseError describes a syntax error with its line number.
-type ParseError struct {
-	Line int
-	Msg  string
+// ParseError is the toolkit-wide typed parse error; it unwraps to
+// guard.ErrParse and carries line (and, when known, column) info.
+type ParseError = guard.ParseError
+
+// perr is a position-annotated message produced inside a line; the
+// caller adds the line number. col is 1-based, 0 = unknown.
+type perr struct {
+	col int
+	msg string
 }
 
-func (e *ParseError) Error() string {
-	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+func (e *perr) Error() string { return e.msg }
+
+func errAt(col int, msgf string, args ...any) *perr {
+	return &perr{col: col, msg: fmt.Sprintf(msgf, args...)}
 }
 
 var funcByName = map[string]circuit.Func{
@@ -55,11 +63,13 @@ var nameByFunc = map[circuit.Func]string{
 
 // Parse reads a .bench netlist. The design name is taken from the first
 // "# name" comment if present, else left as the given fallback.
-func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
+// Malformed input yields a *ParseError (guard.ErrParse), never a panic.
+func Parse(r io.Reader, fallbackName string) (c *circuit.Circuit, err error) {
 	b := circuit.NewBuilder(fallbackName)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
+	defer guard.RecoverParse("bench", &lineNo, &err)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -69,34 +79,34 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		if err := parseLine(b, line); err != nil {
-			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		if perr := parseLine(b, line); perr != nil {
+			return nil, guard.Parsef("bench", lineNo, perr.col, "%s", perr.msg)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench: %w", err)
+		return nil, guard.Parsef("bench", lineNo, 0, "read: %v", err)
 	}
-	c, err := b.Build()
+	c, err = b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("bench: %w", err)
+		return nil, guard.Parsef("bench", 0, 0, "%v", err)
 	}
 	return c, nil
 }
 
-func parseLine(b *circuit.Builder, line string) error {
+func parseLine(b *circuit.Builder, line string) *perr {
 	upper := strings.ToUpper(line)
 	switch {
 	case strings.HasPrefix(upper, "INPUT"):
-		name, err := parseDirectiveArg(line)
-		if err != nil {
-			return err
+		name, perr := parseDirectiveArg(line)
+		if perr != nil {
+			return perr
 		}
 		b.PI(name)
 		return nil
 	case strings.HasPrefix(upper, "OUTPUT"):
-		name, err := parseDirectiveArg(line)
-		if err != nil {
-			return err
+		name, perr := parseDirectiveArg(line)
+		if perr != nil {
+			return perr
 		}
 		b.PO(name)
 		return nil
@@ -104,17 +114,18 @@ func parseLine(b *circuit.Builder, line string) error {
 	// Assignment: name = FN(args...)
 	eq := strings.IndexByte(line, '=')
 	if eq < 0 {
-		return fmt.Errorf("unrecognized statement %q", line)
+		return errAt(1, "unrecognized statement %q", line)
 	}
 	lhs := strings.TrimSpace(line[:eq])
 	if lhs == "" || strings.ContainsAny(lhs, "(),") {
-		return fmt.Errorf("bad net name %q", lhs)
+		return errAt(1, "bad net name %q", lhs)
 	}
 	rhs := strings.TrimSpace(line[eq+1:])
+	rhsCol := eq + 2 + (len(line[eq+1:]) - len(strings.TrimLeft(line[eq+1:], " \t")))
 	open := strings.IndexByte(rhs, '(')
 	closeIdx := strings.LastIndexByte(rhs, ')')
 	if open < 0 || closeIdx < open {
-		return fmt.Errorf("bad gate expression %q", rhs)
+		return errAt(rhsCol, "bad gate expression %q", rhs)
 	}
 	fnName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	var args []string
@@ -126,28 +137,28 @@ func parseLine(b *circuit.Builder, line string) error {
 	}
 	if fnName == "DFF" || fnName == "FF" || fnName == "LATCH" {
 		if len(args) != 1 {
-			return fmt.Errorf("DFF %q needs exactly one input, got %d", lhs, len(args))
+			return errAt(rhsCol, "DFF %q needs exactly one input, got %d", lhs, len(args))
 		}
 		b.DFF(lhs, args[0])
 		return nil
 	}
 	fn, ok := funcByName[fnName]
 	if !ok {
-		return fmt.Errorf("unknown gate function %q", fnName)
+		return errAt(rhsCol, "unknown gate function %q", fnName)
 	}
 	b.Gate(lhs, fn, args...)
 	return nil
 }
 
-func parseDirectiveArg(line string) (string, error) {
+func parseDirectiveArg(line string) (string, *perr) {
 	open := strings.IndexByte(line, '(')
 	closeIdx := strings.LastIndexByte(line, ')')
 	if open < 0 || closeIdx < open {
-		return "", fmt.Errorf("bad directive %q", line)
+		return "", errAt(1, "bad directive %q", line)
 	}
 	name := strings.TrimSpace(line[open+1 : closeIdx])
 	if name == "" {
-		return "", fmt.Errorf("empty net name in %q", line)
+		return "", errAt(open+2, "empty net name in %q", line)
 	}
 	return name, nil
 }

@@ -1,0 +1,51 @@
+package benchfmt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"serretime/internal/guard"
+)
+
+// FuzzParseBench checks the robustness contract of the .bench reader:
+// any byte stream either parses into a circuit or yields an error
+// unwrapping to guard.ErrParse — it must never panic or return
+// (nil, nil).
+func FuzzParseBench(f *testing.F) {
+	for _, name := range []string{"s27.bench", "pipeline4.bench"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			f.Fatalf("seed %s: %v", name, err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("INPUT(a)\nOUTPUT(b)\nb = DFF(a)\n")
+	f.Add("x = AND(a, b)\n")
+	f.Add("INPUT()\n")
+	f.Add("x = ()\n")
+	f.Add("= AND(a)\n")
+	f.Add("x = DFF(a, b)\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(strings.NewReader(input), "fuzz")
+		if err != nil {
+			if !errors.Is(err, guard.ErrParse) {
+				t.Fatalf("error does not unwrap to guard.ErrParse: %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+		// A parsed circuit must survive re-serialization.
+		var sb strings.Builder
+		if werr := Write(&sb, c); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		if _, rerr := Parse(strings.NewReader(sb.String()), "fuzz2"); rerr != nil {
+			t.Fatalf("round-trip re-parse failed: %v\noutput:\n%s", rerr, sb.String())
+		}
+	})
+}

@@ -27,15 +27,12 @@ import (
 	"strings"
 
 	"serretime/internal/circuit"
+	"serretime/internal/guard"
 )
 
-// ParseError reports a syntax or mapping error with its line number.
-type ParseError struct {
-	Line int
-	Msg  string
-}
-
-func (e *ParseError) Error() string { return fmt.Sprintf("blif: line %d: %s", e.Line, e.Msg) }
+// ParseError is the toolkit-wide typed parse error; it unwraps to
+// guard.ErrParse and carries line info.
+type ParseError = guard.ParseError
 
 type namesDecl struct {
 	line   int
@@ -49,8 +46,9 @@ type coverRow struct {
 	out byte
 }
 
-// Parse reads a BLIF netlist.
-func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
+// Parse reads a BLIF netlist. Malformed input yields a *ParseError
+// (guard.ErrParse), never a panic.
+func Parse(r io.Reader, fallbackName string) (c *circuit.Circuit, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 
@@ -65,6 +63,7 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 	var cur *namesDecl
 
 	lineNo := 0
+	defer guard.RecoverParse("blif", &lineNo, &err)
 	pending := ""
 	for sc.Scan() {
 		lineNo++
@@ -103,13 +102,13 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 			cur = nil
 		case ".latch":
 			if len(fields) < 3 {
-				return nil, &ParseError{lineNo, "malformed .latch"}
+				return nil, guard.Parsef("blif", lineNo, 0, "malformed .latch")
 			}
 			latches = append(latches, latch{in: fields[1], out: fields[2], line: lineNo})
 			cur = nil
 		case ".names":
 			if len(fields) < 2 {
-				return nil, &ParseError{lineNo, "malformed .names"}
+				return nil, guard.Parsef("blif", lineNo, 0, "malformed .names")
 			}
 			cur = &namesDecl{
 				line:   lineNo,
@@ -120,7 +119,7 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 		case ".end":
 			cur = nil
 		case ".exdc", ".subckt", ".gate", ".mlatch", ".clock":
-			return nil, &ParseError{lineNo, fmt.Sprintf("unsupported construct %s", fields[0])}
+			return nil, guard.Parsef("blif", lineNo, 0, "unsupported construct %s", fields[0])
 		default:
 			if strings.HasPrefix(fields[0], ".") {
 				// Unknown dot-directives are skipped (e.g. .default_input_arrival).
@@ -129,32 +128,32 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 			}
 			// A cover row for the current .names.
 			if cur == nil {
-				return nil, &ParseError{lineNo, fmt.Sprintf("stray cover row %q", line)}
+				return nil, guard.Parsef("blif", lineNo, 0, "stray cover row %q", line)
 			}
 			var in string
 			var out byte
 			switch len(fields) {
 			case 1:
 				if len(cur.inputs) != 0 {
-					return nil, &ParseError{lineNo, "cover row arity mismatch"}
+					return nil, guard.Parsef("blif", lineNo, 0, "cover row arity mismatch")
 				}
 				in, out = "", fields[0][0]
 			case 2:
 				in, out = fields[0], fields[1][0]
 			default:
-				return nil, &ParseError{lineNo, "malformed cover row"}
+				return nil, guard.Parsef("blif", lineNo, 0, "malformed cover row")
 			}
 			if len(in) != len(cur.inputs) {
-				return nil, &ParseError{lineNo, fmt.Sprintf("cover row width %d for %d inputs", len(in), len(cur.inputs))}
+				return nil, guard.Parsef("blif", lineNo, 0, "cover row width %d for %d inputs", len(in), len(cur.inputs))
 			}
 			if out != '0' && out != '1' {
-				return nil, &ParseError{lineNo, "cover output must be 0 or 1"}
+				return nil, guard.Parsef("blif", lineNo, 0, "cover output must be 0 or 1")
 			}
 			cur.cover = append(cur.cover, coverRow{in, out})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("blif: %w", err)
+		return nil, guard.Parsef("blif", lineNo, 0, "read: %v", err)
 	}
 
 	b := circuit.NewBuilder(name)
@@ -178,9 +177,9 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 	for _, out := range outputs {
 		b.PO(out)
 	}
-	c, err := b.Build()
+	c, err = b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("blif: %w", err)
+		return nil, guard.Parsef("blif", 0, 0, "%v", err)
 	}
 	return c, nil
 }
@@ -194,7 +193,7 @@ func mapCover(nd *namesDecl) (circuit.Func, []int, error) {
 		ident[i] = i
 	}
 	fail := func(msg string) (circuit.Func, []int, error) {
-		return 0, nil, &ParseError{nd.line, fmt.Sprintf(".names %s: %s", nd.output, msg)}
+		return 0, nil, guard.Parsef("blif", nd.line, 0, ".names %s: %s", nd.output, msg)
 	}
 	// Constants.
 	if n == 0 {

@@ -16,10 +16,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"serretime/internal/elw"
+	"serretime/internal/guard"
 
 	"serretime/internal/graph"
 )
@@ -93,6 +95,12 @@ type Options struct {
 	// vertex), which changes nothing about the fixpoint but avoids a full
 	// timing recomputation per constraint on large circuits.
 	SingleViolation bool
+	// StallSteps arms a progress watchdog: when the committed objective
+	// has not improved for this many consecutive steps, Minimize aborts
+	// with guard.ErrStalled and returns the best retiming committed so
+	// far. 0 disables the watchdog (the MaxSteps cap still bounds the
+	// run).
+	StallSteps int
 }
 
 // engine abstracts the closed-set machinery shared by Minimize.
@@ -211,6 +219,23 @@ type violation struct {
 // initialization) with per-vertex gains (from Gains) and per-edge integer
 // observabilities obsInt.
 func Minimize(g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Result, error) {
+	return MinimizeCtx(context.Background(), g, gains, obsInt, opt)
+}
+
+// MinimizeCtx is Minimize under cooperative cancellation: the iteration
+// loop checks ctx at every step and aborts with an error unwrapping to
+// guard.ErrTimeout once it is done. On cancellation (and on a watchdog
+// stall, see Options.StallSteps) the returned Result is non-nil and holds
+// the last *committed* retiming — a legal, verified-improving prefix of
+// the full run that callers may still use — alongside the error.
+func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Result, error) {
+	// Fault-injection sites: tests arm these to exercise the callers'
+	// panic-isolation and degradation paths (guard.Run turns the panic
+	// into guard.ErrInternal).
+	guard.Failpoint("core.Minimize")
+	if opt.ELWConstraints {
+		guard.Failpoint("core.Minimize.elw")
+	}
 	if len(gains) != g.NumVertices() {
 		return nil, fmt.Errorf("core: gains length mismatch")
 	}
@@ -262,10 +287,24 @@ func Minimize(g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Resu
 		return nil, err
 	}
 
+	// The watchdog observes the committed objective once per step; long
+	// constraint-discovery cascades that never reach a clean commit are
+	// the stall signature it exists to catch.
+	wd := guard.NewWatchdog("core.Minimize", opt.StallSteps)
+	committedObj := res.Initial
+
 	rTent := graph.NewRetiming(g)
 	maskSnap := make([]bool, g.NumVertices())
 	needExact := true
 	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
+		if cerr := guard.Checkpoint(ctx, "core.Minimize"); cerr != nil {
+			res.Objective = Objective(g, res.R, obsInt)
+			return res, cerr
+		}
+		if serr := wd.Observe(committedObj); serr != nil {
+			res.Objective = Objective(g, res.R, obsInt)
+			return res, serr
+		}
 		var members []int32
 		var mask []bool
 		exact := false
@@ -314,6 +353,7 @@ func Minimize(g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Resu
 			// Commit and start a fresh round.
 			copy(res.R, rTent)
 			res.Rounds++
+			committedObj = Objective(g, res.R, obsInt)
 			if eng, err = newEngine(); err != nil {
 				return nil, err
 			}
@@ -328,7 +368,9 @@ func Minimize(g *graph.Graph, gains []int64, obsInt []int64, opt Options) (*Resu
 		}
 	}
 	if res.Steps >= maxSteps {
-		return nil, fmt.Errorf("core: step cap %d exceeded (possible oscillation)", maxSteps)
+		res.Objective = Objective(g, res.R, obsInt)
+		return res, fmt.Errorf("core: step cap %d exceeded (possible oscillation): %w",
+			maxSteps, &guard.StallError{Op: "core.Minimize", Steps: maxSteps, Objective: committedObj})
 	}
 	res.Objective = Objective(g, res.R, obsInt)
 	if err := g.CheckLegal(res.R); err != nil {

@@ -1,0 +1,64 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Failpoints are named crash sites for fault-injection testing: production
+// code plants Failpoint("pkg.site") calls at interesting spots; a test (or
+// a diagnostic flag like serbench -faultinject) arms a name, and the next
+// visit panics. The panic is expected to be caught by a surrounding
+// guard.Run and surface as ErrInternal — which is exactly the path the
+// injection exercises.
+var failpoints = struct {
+	sync.Mutex
+	// armed counts remaining firings per name: < 0 = fire forever.
+	armed map[string]int
+}{armed: map[string]int{}}
+
+// ArmFailpoint makes the named failpoint panic on every visit until
+// disarmed.
+func ArmFailpoint(name string) {
+	failpoints.Lock()
+	defer failpoints.Unlock()
+	failpoints.armed[name] = -1
+}
+
+// ArmFailpointCount makes the named failpoint panic on its next n visits
+// and then disarm itself — a transient fault. n <= 0 disarms.
+func ArmFailpointCount(name string, n int) {
+	failpoints.Lock()
+	defer failpoints.Unlock()
+	if n <= 0 {
+		delete(failpoints.armed, name)
+		return
+	}
+	failpoints.armed[name] = n
+}
+
+// DisarmFailpoint disables the named failpoint.
+func DisarmFailpoint(name string) {
+	failpoints.Lock()
+	defer failpoints.Unlock()
+	delete(failpoints.armed, name)
+}
+
+// Failpoint panics with a recognizable value if name is armed. It is a
+// no-op (one cheap map read) otherwise.
+func Failpoint(name string) {
+	failpoints.Lock()
+	n, armed := failpoints.armed[name]
+	if armed && n > 0 {
+		n--
+		if n == 0 {
+			delete(failpoints.armed, name)
+		} else {
+			failpoints.armed[name] = n
+		}
+	}
+	failpoints.Unlock()
+	if armed {
+		panic(fmt.Sprintf("guard: injected fault at %q", name))
+	}
+}

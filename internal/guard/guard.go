@@ -1,0 +1,227 @@
+// Package guard is the fault-tolerance substrate of the toolkit: a typed
+// error taxonomy shared by every entry point, panic isolation with stack
+// capture, cooperative cancellation checkpoints, a progress watchdog for
+// the iterative optimizers, and named failpoints for fault-injection
+// testing.
+//
+// The taxonomy is deliberately small. Every failure a caller can observe
+// from the public API unwraps to exactly one of the five sentinels, so
+// callers dispatch with errors.Is and never need to match message text:
+//
+//	ErrParse      malformed input (netlist syntax, unmappable covers)
+//	ErrInfeasible a well-formed problem with no solution under the
+//	              requested constraints (wedged ELW budget, period too
+//	              tight)
+//	ErrTimeout    a context deadline or cancellation was observed
+//	ErrStalled    the optimizer's watchdog fired: the objective stopped
+//	              improving within the configured step budget
+//	ErrInternal   a recovered panic (with the captured stack) — a bug,
+//	              not a user error, but one that must not crash a server
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors of the taxonomy. Concrete error types below unwrap to
+// these, so errors.Is(err, guard.ErrParse) etc. classifies any error
+// produced by the toolkit.
+var (
+	ErrParse      = errors.New("parse error")
+	ErrInfeasible = errors.New("infeasible")
+	ErrTimeout    = errors.New("timeout")
+	ErrStalled    = errors.New("stalled")
+	ErrInternal   = errors.New("internal fault")
+)
+
+// ParseError reports malformed input with its position. Line and Col are
+// 1-based; Col 0 means the column is unknown.
+type ParseError struct {
+	// Format names the input language ("bench", "blif", "verilog").
+	Format string
+	Line   int
+	Col    int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	f := e.Format
+	if f == "" {
+		f = "parse"
+	}
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("%s: line %d, col %d: %s", f, e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("%s: line %d: %s", f, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", f, e.Msg)
+}
+
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+// Parsef builds a *ParseError with a formatted message.
+func Parsef(format string, line, col int, msgf string, args ...any) *ParseError {
+	return &ParseError{Format: format, Line: line, Col: col, Msg: fmt.Sprintf(msgf, args...)}
+}
+
+// RecoverParse converts a panic escaping a parser into a returned
+// *ParseError located at *line (the line the parser was processing when
+// it fell over). Use as:
+//
+//	defer guard.RecoverParse("bench", &lineNo, &err)
+//
+// Malformed input must produce an error, never a crash — this is the
+// parser's last line of defense when an input shape its validation did
+// not anticipate trips an internal invariant.
+func RecoverParse(format string, line *int, err *error) {
+	if r := recover(); r != nil {
+		*err = &ParseError{Format: format, Line: *line, Msg: fmt.Sprintf("internal parser fault: %v", r)}
+	}
+}
+
+// InternalError wraps a recovered panic. Value is the recovered value and
+// Stack the goroutine stack captured at the recovery point.
+type InternalError struct {
+	Op    string // the operation that panicked, for diagnostics
+	Value any
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("internal fault in %s: %v", e.Op, e.Value)
+	}
+	return fmt.Sprintf("internal fault: %v", e.Value)
+}
+
+func (e *InternalError) Unwrap() error { return ErrInternal }
+
+// InfeasibleError reports a well-formed problem with no solution under the
+// requested constraints.
+type InfeasibleError struct {
+	Op     string
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("%s: infeasible: %s", e.Op, e.Reason)
+}
+
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
+// StallError reports that the optimizer's watchdog fired: Steps iterations
+// elapsed with the objective pinned at Objective.
+type StallError struct {
+	Op        string
+	Steps     int
+	Objective int64
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("%s: stalled: no objective improvement in %d steps (objective %d)",
+		e.Op, e.Steps, e.Objective)
+}
+
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// TimeoutError reports an observed context cancellation or deadline, with
+// the context's cause preserved for errors.Is/As chains.
+type TimeoutError struct {
+	Op    string
+	Cause error
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("%s: %v (%v)", e.Op, ErrTimeout, e.Cause)
+	}
+	return fmt.Sprintf("%v (%v)", ErrTimeout, e.Cause)
+}
+
+// Unwrap exposes both the ErrTimeout sentinel and the context cause
+// (context.Canceled or context.DeadlineExceeded).
+func (e *TimeoutError) Unwrap() []error { return []error{ErrTimeout, e.Cause} }
+
+// Checkpoint returns nil while ctx is live and a *TimeoutError once it is
+// done. Iterative code calls it at loop heads; op names the loop for
+// diagnostics.
+func Checkpoint(ctx context.Context, op string) error {
+	select {
+	case <-ctx.Done():
+		return &TimeoutError{Op: op, Cause: context.Cause(ctx)}
+	default:
+		return nil
+	}
+}
+
+// Run executes fn with panic isolation: a panic inside fn is recovered and
+// returned as a *InternalError carrying the captured stack, and a done
+// context is reported as *TimeoutError before fn even starts. Errors
+// returned by fn pass through unchanged.
+func Run(ctx context.Context, op string, fn func(context.Context) error) (err error) {
+	if cerr := Checkpoint(ctx, op); cerr != nil {
+		return cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Op: op, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx)
+}
+
+// Do is Run for functions returning a value. On a recovered panic the
+// zero value is returned alongside the *InternalError.
+func Do[T any](ctx context.Context, op string, fn func(context.Context) (T, error)) (res T, err error) {
+	if cerr := Checkpoint(ctx, op); cerr != nil {
+		return res, cerr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			res, err = zero, &InternalError{Op: op, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx)
+}
+
+// Watchdog detects stalled minimization loops: it observes the objective
+// once per iteration and fires after Limit consecutive observations
+// without strict improvement (decrease). The zero Watchdog is disabled.
+type Watchdog struct {
+	Op    string
+	Limit int
+
+	best    int64
+	hasBest bool
+	streak  int
+}
+
+// NewWatchdog returns a watchdog firing after limit non-improving
+// observations; limit <= 0 disables it.
+func NewWatchdog(op string, limit int) *Watchdog {
+	return &Watchdog{Op: op, Limit: limit}
+}
+
+// Observe feeds the current objective value. It returns a *StallError when
+// the objective has not strictly decreased in Limit consecutive calls.
+func (w *Watchdog) Observe(objective int64) error {
+	if w == nil || w.Limit <= 0 {
+		return nil
+	}
+	if !w.hasBest || objective < w.best {
+		w.best = objective
+		w.hasBest = true
+		w.streak = 0
+		return nil
+	}
+	w.streak++
+	if w.streak >= w.Limit {
+		return &StallError{Op: w.Op, Steps: w.streak, Objective: w.best}
+	}
+	return nil
+}

@@ -6,11 +6,13 @@
 package retime
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"serretime/internal/elw"
 	"serretime/internal/graph"
+	"serretime/internal/guard"
 )
 
 const eps = 1e-9
@@ -56,12 +58,23 @@ func feasPassCap(g *graph.Graph) int {
 }
 
 func FEAS(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
+	r, ok, _ := feasCtx(context.Background(), g, phi, ts)
+	return r, ok
+}
+
+// feasCtx is FEAS with a cancellation checkpoint per relaxation pass. The
+// error is non-nil only for cancellation (unwrapping to guard.ErrTimeout);
+// plain infeasibility stays (nil, false, nil).
+func feasCtx(ctx context.Context, g *graph.Graph, phi, ts float64) (graph.Retiming, bool, error) {
 	r := graph.NewRetiming(g)
 	limit := feasPassCap(g)
 	for it := 0; it < limit; it++ {
+		if cerr := guard.Checkpoint(ctx, "retime.FEAS"); cerr != nil {
+			return nil, false, cerr
+		}
 		arr, _, err := g.ArrivalTimes(r)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		violated := false
 		for v := 1; v < g.NumVertices(); v++ {
@@ -72,17 +85,17 @@ func FEAS(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
 			// out-edges; a zero-weight edge into the host blocks the move.
 			for _, oe := range g.Out(graph.VertexID(v)) {
 				if g.Edge(oe).To == graph.Host && g.WR(oe, r) == 0 {
-					return nil, false
+					return nil, false, nil
 				}
 			}
 			r[v]++
 			violated = true
 		}
 		if !violated {
-			return r, true
+			return r, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // FEASBackward is the mirror image of FEAS: it computes required times
@@ -90,12 +103,20 @@ func FEAS(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
 // every vertex whose backward path exceeds phi − ts. It covers circuits
 // whose critical paths end at primary outputs (where FEAS is blocked).
 func FEASBackward(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
+	r, ok, _ := feasBackwardCtx(context.Background(), g, phi, ts)
+	return r, ok
+}
+
+func feasBackwardCtx(ctx context.Context, g *graph.Graph, phi, ts float64) (graph.Retiming, bool, error) {
 	r := graph.NewRetiming(g)
 	limit := feasPassCap(g)
 	for it := 0; it < limit; it++ {
+		if cerr := guard.Checkpoint(ctx, "retime.FEASBackward"); cerr != nil {
+			return nil, false, cerr
+		}
 		rarr, err := reverseArrivals(g, r)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		violated := false
 		for v := 1; v < g.NumVertices(); v++ {
@@ -106,17 +127,17 @@ func FEASBackward(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
 			// in-edges; a zero-weight edge from the host blocks the move.
 			for _, ie := range g.In(graph.VertexID(v)) {
 				if g.Edge(ie).From == graph.Host && g.WR(ie, r) == 0 {
-					return nil, false
+					return nil, false, nil
 				}
 			}
 			r[v]--
 			violated = true
 		}
 		if !violated {
-			return r, true
+			return r, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // reverseArrivals computes, for each vertex v, the maximum delay of a
@@ -147,11 +168,11 @@ func reverseArrivals(g *graph.Graph, r graph.Retiming) ([]float64, error) {
 // tryPeriod attempts phi with both relaxation directions. Forward moves
 // (FEASBackward) are preferred: they never pull registers out of the
 // environment and tend to reduce the register count.
-func tryPeriod(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
-	if r, ok := FEASBackward(g, phi, ts); ok {
-		return r, true
+func tryPeriod(ctx context.Context, g *graph.Graph, phi, ts float64) (graph.Retiming, bool, error) {
+	if r, ok, err := feasBackwardCtx(ctx, g, phi, ts); ok || err != nil {
+		return r, ok, err
 	}
-	return FEAS(g, phi, ts)
+	return feasCtx(ctx, g, phi, ts)
 }
 
 // MinPeriod finds the smallest clock period (on the delay grid) reachable
@@ -160,6 +181,10 @@ func tryPeriod(g *graph.Graph, phi, ts float64) (graph.Retiming, bool) {
 // at the environment can make some periods unreachable by single-direction
 // relaxation.
 func MinPeriod(g *graph.Graph, ts float64) (graph.Retiming, float64, error) {
+	return minPeriodCtx(context.Background(), g, ts)
+}
+
+func minPeriodCtx(ctx context.Context, g *graph.Graph, ts float64) (graph.Retiming, float64, error) {
 	_, crit, err := g.ArrivalTimes(graph.NewRetiming(g))
 	if err != nil {
 		return nil, 0, err
@@ -172,17 +197,29 @@ func MinPeriod(g *graph.Graph, ts float64) (graph.Retiming, float64, error) {
 	// Binary search on the 0.5 grid.
 	for lo < hi-eps {
 		mid := snapUp(lo + math.Floor((hi-lo)/(2*grid))*grid)
-		if _, ok := tryPeriod(g, mid, ts); ok {
+		ok, cerr := probe(ctx, g, mid, ts)
+		if cerr != nil {
+			return nil, 0, cerr
+		}
+		if ok {
 			hi = mid
 		} else {
 			lo = mid + grid
 		}
 	}
-	r, ok := tryPeriod(g, hi, ts)
+	r, ok, cerr := tryPeriod(ctx, g, hi, ts)
+	if cerr != nil {
+		return nil, 0, cerr
+	}
 	if !ok {
 		return graph.NewRetiming(g), snapUp(crit + ts), nil
 	}
 	return r, hi, nil
+}
+
+func probe(ctx context.Context, g *graph.Graph, phi, ts float64) (bool, error) {
+	_, ok, err := tryPeriod(ctx, g, phi, ts)
+	return ok, err
 }
 
 func snapUp(x float64) float64 { return math.Ceil(x/grid-eps) * grid }
@@ -196,17 +233,28 @@ func snapUp(x float64) float64 { return math.Ceil(x/grid-eps) * grid }
 // structures, in which case ok is false (the caller falls back to
 // MinPeriod, as the paper prescribes).
 func SetupHold(g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool) {
-	r, ok := tryPeriod(g, phi, ts)
+	r, ok, _ := setupHoldCtx(context.Background(), g, phi, ts, th)
+	return r, ok
+}
+
+func setupHoldCtx(ctx context.Context, g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool, error) {
+	r, ok, cerr := tryPeriod(ctx, g, phi, ts)
+	if cerr != nil {
+		return nil, false, cerr
+	}
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	p := elw.Params{Phi: phi, Ts: ts, Th: th}
 	limit := 4*feasPassCap(g) + 16
 	bestHold, stall := 1<<30, 0
 	for it := 0; it < limit; it++ {
+		if cerr := guard.Checkpoint(ctx, "retime.SetupHold"); cerr != nil {
+			return nil, false, cerr
+		}
 		arr, _, err := g.ArrivalTimes(r)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		violated := false
 		for v := 1; v < g.NumVertices(); v++ {
@@ -216,7 +264,7 @@ func SetupHold(g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool) {
 				// environment).
 				for _, oe := range g.Out(graph.VertexID(v)) {
 					if g.Edge(oe).To == graph.Host && g.WR(oe, r) == 0 {
-						return nil, false
+						return nil, false, nil
 					}
 				}
 				r[v]++
@@ -228,7 +276,7 @@ func SetupHold(g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool) {
 		}
 		lab, err := elw.ComputeLabels(g, r, p)
 		if err != nil {
-			return nil, false
+			return nil, false, nil
 		}
 		// Batch: repair every currently-violated edge in one pass (labels
 		// go stale as repairs move registers, but the loop re-verifies).
@@ -249,22 +297,22 @@ func SetupHold(g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool) {
 		}
 		if holdV == 0 {
 			if g.CheckLegal(r) != nil {
-				return nil, false
+				return nil, false, nil
 			}
-			return r, true
+			return r, true, nil
 		}
 		if repaired == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 		// Stall detection: repairs that never reduce the violation count
 		// are cycling (clustered registers with nowhere to go).
 		if holdV < bestHold {
 			bestHold, stall = holdV, 0
 		} else if stall++; stall > 50 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // holdRepair lengthens the short register-launched path on edge eid by
@@ -309,34 +357,47 @@ func holdRepair(g *graph.Graph, r graph.Retiming, eid graph.EdgeID) bool {
 // MinPeriodSetupHold finds the smallest period (on the delay grid) for
 // which SetupHold succeeds.
 func MinPeriodSetupHold(g *graph.Graph, ts, th float64) (graph.Retiming, float64, bool) {
+	r, phi, ok, _ := minPeriodSetupHoldCtx(context.Background(), g, ts, th)
+	return r, phi, ok
+}
+
+func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64) (graph.Retiming, float64, bool, error) {
 	_, crit, err := g.ArrivalTimes(graph.NewRetiming(g))
 	if err != nil {
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
 	lo := snapUp(g.MaxDelay() + ts)
 	hi := snapUp(crit + ts)
 	if lo > hi {
 		lo = hi
 	}
-	if _, ok := SetupHold(g, hi, ts, th); !ok {
+	if _, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th); cerr != nil {
+		return nil, 0, false, cerr
+	} else if !ok {
 		// Try some slack above the unretimed critical path before giving
 		// up: hold repairs may need headroom.
 		hi2 := snapUp(hi * 1.5)
-		if _, ok := SetupHold(g, hi2, ts, th); !ok {
-			return nil, 0, false
+		if _, ok, cerr := setupHoldCtx(ctx, g, hi2, ts, th); cerr != nil {
+			return nil, 0, false, cerr
+		} else if !ok {
+			return nil, 0, false, nil
 		}
 		lo, hi = hi+grid, hi2
 	}
 	for lo < hi-eps {
 		mid := snapUp(lo + math.Floor((hi-lo)/(2*grid))*grid)
-		if _, ok := SetupHold(g, mid, ts, th); ok {
+		_, ok, cerr := setupHoldCtx(ctx, g, mid, ts, th)
+		if cerr != nil {
+			return nil, 0, false, cerr
+		}
+		if ok {
 			hi = mid
 		} else {
 			lo = mid + grid
 		}
 	}
-	r, ok := SetupHold(g, hi, ts, th)
-	return r, hi, ok
+	r, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th)
+	return r, hi, ok, cerr
 }
 
 // Options configures Initialize.
@@ -369,11 +430,22 @@ type Init struct {
 // Initialize computes the initial retiming, relaxed clock period Φ and
 // shortest-path bound Rmin per Section V of the paper.
 func Initialize(g *graph.Graph, o Options) (*Init, error) {
+	return InitializeCtx(context.Background(), g, o)
+}
+
+// InitializeCtx is Initialize under cooperative cancellation: the
+// min-period searches and hold-repair loops check ctx and abort with an
+// error unwrapping to guard.ErrTimeout once it is done.
+func InitializeCtx(ctx context.Context, g *graph.Graph, o Options) (*Init, error) {
 	if o.Epsilon < 0 {
 		return nil, fmt.Errorf("retime: negative epsilon %g", o.Epsilon)
 	}
 	init := &Init{}
-	if r, phi, ok := MinPeriodSetupHold(g, o.Ts, o.Th); ok {
+	r, phi, ok, cerr := minPeriodSetupHoldCtx(ctx, g, o.Ts, o.Th)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if ok {
 		init.R = r
 		init.PhiMin = phi
 		init.SetupHoldOK = true
@@ -392,7 +464,7 @@ func Initialize(g *graph.Graph, o Options) (*Init, error) {
 		}
 		return init, nil
 	}
-	r, phi, err := MinPeriod(g, o.Ts)
+	r, phi, err := minPeriodCtx(ctx, g, o.Ts)
 	if err != nil {
 		return nil, err
 	}

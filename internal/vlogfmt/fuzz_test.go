@@ -1,0 +1,35 @@
+package vlogfmt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"serretime/internal/guard"
+)
+
+// FuzzParseVerilog checks the robustness contract of the structural
+// Verilog reader: any byte stream either parses into a circuit or
+// yields an error unwrapping to guard.ErrParse — it must never panic
+// or return (nil, nil).
+func FuzzParseVerilog(f *testing.F) {
+	f.Add("module m(a, y);\ninput a;\noutput y;\nnot n1(y, a);\nendmodule\n")
+	f.Add("module m(a, b, y);\ninput a, b;\noutput y;\nwire w;\nand g1(w, a, b);\ndff r1(y, w);\nendmodule\n")
+	f.Add("module m;\n/* block\ncomment */ endmodule\n")
+	f.Add("module ;\n")
+	f.Add("assign y = a;\n")
+	f.Add("module m(y);\noutput y;\nand g1(y);\nendmodule\n")
+	f.Add("not n1(y, a);\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(strings.NewReader(input), "fuzz")
+		if err != nil {
+			if !errors.Is(err, guard.ErrParse) {
+				t.Fatalf("error does not unwrap to guard.ErrParse: %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit with nil error")
+		}
+	})
+}

@@ -24,15 +24,12 @@ import (
 	"strings"
 
 	"serretime/internal/circuit"
+	"serretime/internal/guard"
 )
 
-// ParseError reports a syntax error with its (statement-start) line.
-type ParseError struct {
-	Line int
-	Msg  string
-}
-
-func (e *ParseError) Error() string { return fmt.Sprintf("verilog: line %d: %s", e.Line, e.Msg) }
+// ParseError is the toolkit-wide typed parse error; it unwraps to
+// guard.ErrParse and carries the statement-start line.
+type ParseError = guard.ParseError
 
 var primOf = map[string]circuit.Func{
 	"and": circuit.FnAnd, "nand": circuit.FnNand,
@@ -48,8 +45,9 @@ var nameOfFn = map[circuit.Func]string{
 	circuit.FnNot: "not", circuit.FnBuf: "buf",
 }
 
-// Parse reads a structural Verilog netlist (one module).
-func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
+// Parse reads a structural Verilog netlist (one module). Malformed
+// input yields a *ParseError (guard.ErrParse), never a panic.
+func Parse(r io.Reader, fallbackName string) (c *circuit.Circuit, err error) {
 	// Tokenize into ';'-terminated statements, tracking line numbers.
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -61,6 +59,7 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 	var cur strings.Builder
 	curLine := 0
 	lineNo := 0
+	defer guard.RecoverParse("verilog", &lineNo, &err)
 	inBlockComment := false
 	for sc.Scan() {
 		lineNo++
@@ -116,7 +115,7 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("verilog: %w", err)
+		return nil, guard.Parsef("verilog", lineNo, 0, "read: %v", err)
 	}
 	if strings.TrimSpace(cur.String()) != "" {
 		stmts = append(stmts, stmt{cur.String(), curLine})
@@ -136,7 +135,7 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 		switch fields[0] {
 		case "module":
 			if len(fields) < 2 {
-				return nil, &ParseError{st.line, "module without a name"}
+				return nil, guard.Parsef("verilog", st.line, 0, "module without a name")
 			}
 			name = fields[1]
 			declared = true
@@ -151,19 +150,19 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 			// Net declarations carry no structure here.
 		case "dff", "DFF":
 			if len(fields) < 4 {
-				return nil, &ParseError{st.line, "dff needs (q, d)"}
+				return nil, guard.Parsef("verilog", st.line, 0, "dff needs (q, d)")
 			}
 			// fields[1] is the instance name.
 			b.DFF(fields[2], fields[3])
 		case "assign":
-			return nil, &ParseError{st.line, "behavioural assign not supported (structural netlists only)"}
+			return nil, guard.Parsef("verilog", st.line, 0, "behavioural assign not supported (structural netlists only)")
 		default:
 			fn, ok := primOf[fields[0]]
 			if !ok {
-				return nil, &ParseError{st.line, fmt.Sprintf("unknown construct %q", fields[0])}
+				return nil, guard.Parsef("verilog", st.line, 0, "unknown construct %q", fields[0])
 			}
 			if len(fields) < 4 {
-				return nil, &ParseError{st.line, fmt.Sprintf("%s needs an instance name, an output and inputs", fields[0])}
+				return nil, guard.Parsef("verilog", st.line, 0, "%s needs an instance name, an output and inputs", fields[0])
 			}
 			out := fields[2]
 			ins := fields[3:]
@@ -171,14 +170,14 @@ func Parse(r io.Reader, fallbackName string) (*circuit.Circuit, error) {
 		}
 	}
 	if !declared {
-		return nil, &ParseError{1, "no module declaration"}
+		return nil, guard.Parsef("verilog", 1, 0, "no module declaration")
 	}
 	for _, o := range outputs {
 		b.PO(o)
 	}
-	c, err := b.Build()
+	c, err = b.Build()
 	if err != nil {
-		return nil, fmt.Errorf("verilog: %w", err)
+		return nil, guard.Parsef("verilog", 0, 0, "%v", err)
 	}
 	c.Name = name
 	return c, nil

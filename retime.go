@@ -2,6 +2,7 @@ package serretime
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"serretime/internal/core"
 	"serretime/internal/elw"
 	"serretime/internal/graph"
+	"serretime/internal/guard"
 	"serretime/internal/retime"
 	"serretime/internal/verify"
 )
@@ -87,6 +89,15 @@ type RetimeOptions struct {
 	// KUnits is the integer scaling of observabilities (default: the
 	// number of simulated vectors K, as in the paper).
 	KUnits int
+	// StallSteps arms the optimizer watchdog: the run aborts with an
+	// error unwrapping to guard.ErrStalled when the objective has not
+	// improved for this many consecutive steps. 0 disables the watchdog.
+	StallSteps int
+	// RminOverride replaces the Section V shortest-path bound Rmin of the
+	// P2' constraints when nonzero. RetimeRobust uses it to relax the ELW
+	// budget between degradation tiers; tests use it to wedge the budget
+	// (an absurdly large bound makes every P2' constraint infeasible).
+	RminOverride float64
 }
 
 // RetimeResult reports a full retiming run.
@@ -131,6 +142,23 @@ func (r *RetimeResult) DeltaFF() float64 {
 // (setup+hold min-period retiming, ε relaxation, Rmin selection), then the
 // selected optimizer, then SER evaluation of the result.
 func (d *Design) Retime(opt RetimeOptions) (*RetimeResult, error) {
+	return d.RetimeCtx(context.Background(), opt)
+}
+
+// RetimeCtx is Retime under cooperative cancellation and panic isolation:
+// the initialization searches and the optimizer loop check ctx and abort
+// with an error unwrapping to guard.ErrTimeout once it is done, and any
+// internal panic is recovered into an error unwrapping to
+// guard.ErrInternal instead of crashing the caller. The receiver's
+// circuit is never modified, complete or not: the retimed netlist is
+// materialized as a fresh Design.
+func (d *Design) RetimeCtx(ctx context.Context, opt RetimeOptions) (*RetimeResult, error) {
+	return guard.Do(ctx, "serretime.Retime", func(ctx context.Context) (*RetimeResult, error) {
+		return d.retime(ctx, opt)
+	})
+}
+
+func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, error) {
 	if opt.Epsilon == 0 {
 		opt.Epsilon = 0.10
 	}
@@ -144,7 +172,7 @@ func (d *Design) Retime(opt RetimeOptions) (*RetimeResult, error) {
 		return nil, err
 	}
 
-	init, err := retime.Initialize(d.g, retime.Options{Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon})
+	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon})
 	if err != nil {
 		return nil, err
 	}
@@ -186,12 +214,16 @@ func (d *Design) Retime(opt RetimeOptions) (*RetimeResult, error) {
 		Phi: init.Phi, Ts: opt.Ts, Th: opt.Th, Rmin: init.Rmin,
 		ELWConstraints:  opt.Algorithm == MinObsWin,
 		SingleViolation: opt.SingleViolation,
+		StallSteps:      opt.StallSteps,
+	}
+	if opt.RminOverride != 0 {
+		copt.Rmin = opt.RminOverride
 	}
 	if opt.Engine == EngineForest {
 		copt.Engine = core.EngineForest
 	}
 	start := time.Now()
-	cres, err := core.Minimize(base, gains, obsInt, copt)
+	cres, err := core.MinimizeCtx(ctx, base, gains, obsInt, copt)
 	if err != nil {
 		return nil, err
 	}

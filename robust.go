@@ -1,0 +1,202 @@
+package serretime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"serretime/internal/graph"
+	"serretime/internal/guard"
+)
+
+// Tier identifies which rung of the graceful-degradation ladder produced
+// a RobustResult. Lower values are stronger answers.
+type Tier uint8
+
+const (
+	// TierMinObsWin is the full algorithm: MinObsWin under ELW (P2')
+	// constraints, exactly as requested.
+	TierMinObsWin Tier = iota
+	// TierMinObsWinRelaxed is MinObsWin re-run with a relaxed ELW budget
+	// (the clock-period relaxation ε is multiplied by RelaxFactor, and
+	// any Rmin override is shrunk by it), trading some timing-masking
+	// fidelity for feasibility.
+	TierMinObsWinRelaxed
+	// TierMinObs is the Efficient MinObs baseline: P2' disabled, logic
+	// masking only — the Krishnaswamy-style fallback.
+	TierMinObs
+	// TierIdentity is the identity retiming: the input circuit analyzed
+	// as-is. Always succeeds unless the design cannot even be analyzed.
+	TierIdentity
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierMinObsWin:
+		return "minobswin"
+	case TierMinObsWinRelaxed:
+		return "minobswin-relaxed"
+	case TierMinObs:
+		return "minobs"
+	case TierIdentity:
+		return "identity"
+	}
+	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// RobustOptions configures RetimeRobust.
+type RobustOptions struct {
+	// RetimeOptions configures the strongest tier; weaker tiers derive
+	// their configuration from it.
+	RetimeOptions
+	// Timeout bounds each attempt (0 = only the caller's ctx applies).
+	Timeout time.Duration
+	// Retries is the number of extra attempts per tier after a transient
+	// failure (internal fault or stall). Timeouts are never retried at
+	// the same tier — a second identical run would time out identically.
+	Retries int
+	// RelaxFactor scales the period relaxation ε for the relaxed tier
+	// (default 2).
+	RelaxFactor float64
+}
+
+// Attempt records one run of the degradation chain.
+type Attempt struct {
+	// Tier is the rung that ran.
+	Tier Tier
+	// Err is nil for the attempt that produced the final result.
+	Err error
+	// Runtime is the attempt's wall time.
+	Runtime time.Duration
+}
+
+// RobustResult is a RetimeResult annotated with how it was obtained.
+type RobustResult struct {
+	*RetimeResult
+	// Tier is the rung that produced the result.
+	Tier Tier
+	// Degraded reports whether the answer comes from a weaker tier than
+	// the one requested.
+	Degraded bool
+	// Attempts lists every run in order, including the failed ones.
+	Attempts []Attempt
+}
+
+// RetimeRobust runs the graceful-degradation chain: MinObsWin with ELW
+// constraints, then MinObsWin with a relaxed ELW budget, then Efficient
+// MinObs (P2' disabled), then the identity retiming. Each tier runs under
+// panic isolation, the per-attempt Timeout, and the StallSteps watchdog;
+// on failure the chain records the attempt and steps down. The result
+// says which tier answered, so callers can distinguish a full-strength
+// answer from a degraded one without parsing errors.
+//
+// If opt.Algorithm is not MinObsWin, the chain starts at the equivalent
+// rung (MinObs and MinArea start at TierMinObs) and only degrades from
+// there. An error is returned only when every tier failed — including
+// identity — or when the caller's ctx is done (errors unwrapping to
+// guard.ErrTimeout are not degraded past: the caller's deadline is
+// global).
+func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustResult, error) {
+	if opt.RelaxFactor <= 1 {
+		opt.RelaxFactor = 2
+	}
+	type rung struct {
+		tier Tier
+		opts RetimeOptions
+	}
+	var chain []rung
+	switch opt.Algorithm {
+	case MinObsWin:
+		relaxed := opt.RetimeOptions
+		if relaxed.Epsilon == 0 {
+			relaxed.Epsilon = 0.10
+		}
+		relaxed.Epsilon *= opt.RelaxFactor
+		if relaxed.RminOverride != 0 {
+			relaxed.RminOverride /= opt.RelaxFactor
+		}
+		minobs := opt.RetimeOptions
+		minobs.Algorithm = MinObs
+		minobs.RminOverride = 0
+		chain = []rung{
+			{TierMinObsWin, opt.RetimeOptions},
+			{TierMinObsWinRelaxed, relaxed},
+			{TierMinObs, minobs},
+		}
+	default:
+		chain = []rung{{TierMinObs, opt.RetimeOptions}}
+	}
+
+	out := &RobustResult{}
+	attempt := func(tier Tier, fn func(context.Context) (*RetimeResult, error)) (*RetimeResult, error) {
+		actx := ctx
+		cancel := context.CancelFunc(func() {})
+		if opt.Timeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		}
+		defer cancel()
+		start := time.Now()
+		res, err := fn(actx)
+		out.Attempts = append(out.Attempts, Attempt{Tier: tier, Err: err, Runtime: time.Since(start)})
+		return res, err
+	}
+
+	var lastErr error
+	for _, r := range chain {
+		for try := 0; try <= opt.Retries; try++ {
+			res, err := attempt(r.tier, func(actx context.Context) (*RetimeResult, error) {
+				return d.RetimeCtx(actx, r.opts)
+			})
+			if err == nil {
+				out.RetimeResult = res
+				out.Tier = r.tier
+				out.Degraded = r.tier != chain[0].tier
+				return out, nil
+			}
+			lastErr = err
+			if cerr := guard.Checkpoint(ctx, "serretime.RetimeRobust"); cerr != nil {
+				// The caller's own deadline expired: degrading further
+				// would just burn it again.
+				return nil, cerr
+			}
+			if errors.Is(err, guard.ErrTimeout) {
+				// Per-attempt timeout: deterministic, skip the retries.
+				break
+			}
+		}
+	}
+
+	// Identity tier: no optimization, analyze the circuit as-is.
+	res, err := attempt(TierIdentity, func(actx context.Context) (*RetimeResult, error) {
+		return d.identityResult(actx, opt.RetimeOptions)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serretime: every degradation tier failed (last optimizer error: %v): %w", lastErr, err)
+	}
+	out.RetimeResult = res
+	out.Tier = TierIdentity
+	out.Degraded = true
+	return out, nil
+}
+
+// identityResult evaluates the design unretimed, as the last rung of the
+// degradation chain: Before and After coincide and the "retimed" design
+// is the input itself.
+func (d *Design) identityResult(ctx context.Context, opt RetimeOptions) (*RetimeResult, error) {
+	return guard.Do(ctx, "serretime.identity", func(context.Context) (*RetimeResult, error) {
+		if err := d.ensureObs(opt.Analysis); err != nil {
+			return nil, err
+		}
+		an, err := d.analyzeAt(d.g, graph.NewRetiming(d.g), 0, opt.Analysis)
+		if err != nil {
+			return nil, err
+		}
+		return &RetimeResult{
+			Algorithm: opt.Algorithm,
+			Phi:       an.Phi, PhiMin: an.Phi,
+			Before: *an, After: *an,
+			Retimed: d,
+		}, nil
+	})
+}

@@ -20,6 +20,7 @@
 package serretime
 
 import (
+	"context"
 	"io"
 	"strings"
 
@@ -28,6 +29,7 @@ import (
 	"serretime/internal/circuit"
 	"serretime/internal/gen"
 	"serretime/internal/graph"
+	"serretime/internal/guard"
 	"serretime/internal/obs"
 	"serretime/internal/ser"
 	"serretime/internal/sim"
@@ -47,13 +49,17 @@ type Design struct {
 	regRate float64
 }
 
-// newDesign extracts the retiming graph and validates the circuit.
+// newDesign extracts the retiming graph and validates the circuit. Graph
+// extraction runs under guard so that a degenerate netlist which trips an
+// internal invariant surfaces as guard.ErrInternal, never as a crash.
 func newDesign(c *circuit.Circuit) (*Design, error) {
-	g, err := graph.FromCircuit(c, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &Design{c: c, g: g}, nil
+	return guard.Do(context.Background(), "serretime.newDesign", func(context.Context) (*Design, error) {
+		g, err := graph.FromCircuit(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Design{c: c, g: g}, nil
+	})
 }
 
 // LoadBench reads an ISCAS89 .bench netlist from a file.
@@ -75,7 +81,11 @@ func ParseBench(r io.Reader, name string) (*Design, error) {
 }
 
 // WriteBench writes the design's netlist in .bench syntax.
-func (d *Design) WriteBench(w io.Writer) error { return benchfmt.Write(w, d.c) }
+func (d *Design) WriteBench(w io.Writer) error {
+	return guard.Run(context.Background(), "serretime.WriteBench", func(context.Context) error {
+		return benchfmt.Write(w, d.c)
+	})
+}
 
 // LoadBLIF reads a structural BLIF netlist from a file.
 func LoadBLIF(path string) (*Design, error) {
@@ -96,7 +106,11 @@ func ParseBLIF(r io.Reader, name string) (*Design, error) {
 }
 
 // WriteBLIF writes the design's netlist in BLIF syntax.
-func (d *Design) WriteBLIF(w io.Writer) error { return bliffmt.Write(w, d.c) }
+func (d *Design) WriteBLIF(w io.Writer) error {
+	return guard.Run(context.Background(), "serretime.WriteBLIF", func(context.Context) error {
+		return bliffmt.Write(w, d.c)
+	})
+}
 
 // LoadVerilog reads a gate-level structural Verilog netlist from a file.
 func LoadVerilog(path string) (*Design, error) {
@@ -118,7 +132,11 @@ func ParseVerilog(r io.Reader, name string) (*Design, error) {
 
 // WriteVerilog writes the design as gate-level structural Verilog (net
 // names are sanitized to legal identifiers).
-func (d *Design) WriteVerilog(w io.Writer) error { return vlogfmt.Write(w, d.c) }
+func (d *Design) WriteVerilog(w io.Writer) error {
+	return guard.Run(context.Background(), "serretime.WriteVerilog", func(context.Context) error {
+		return vlogfmt.Write(w, d.c)
+	})
+}
 
 // Load reads a netlist, picking the format from the file extension
 // (.blif = BLIF, .v = structural Verilog, anything else = ISCAS89 .bench).
@@ -151,15 +169,17 @@ type CircuitSpec struct {
 // Synthesize generates a seeded synthetic circuit with the prescribed
 // statistics.
 func Synthesize(spec CircuitSpec) (*Design, error) {
-	c, err := gen.Generate(gen.Spec{
-		Name: spec.Name, Gates: spec.Gates, Conns: spec.Conns,
-		FFs: spec.FFs, Depth: spec.Depth, Seed: spec.Seed,
-		FanoutSkew: spec.FanoutSkew,
+	return guard.Do(context.Background(), "serretime.Synthesize", func(context.Context) (*Design, error) {
+		c, err := gen.Generate(gen.Spec{
+			Name: spec.Name, Gates: spec.Gates, Conns: spec.Conns,
+			FFs: spec.FFs, Depth: spec.Depth, Seed: spec.Seed,
+			FanoutSkew: spec.FanoutSkew,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newDesign(c)
 	})
-	if err != nil {
-		return nil, err
-	}
-	return newDesign(c)
 }
 
 // TableICircuits lists the benchmark names of the paper's Table I.
@@ -294,10 +314,12 @@ type Analysis struct {
 // Analyze evaluates the SER of the unretimed design at clock period phi
 // (0 = the design's combinational critical path, unrelaxed).
 func (d *Design) Analyze(phi float64, opt AnalysisOptions) (*Analysis, error) {
-	if err := d.ensureObs(opt); err != nil {
-		return nil, err
-	}
-	return d.analyzeAt(d.g, graph.NewRetiming(d.g), phi, opt)
+	return guard.Do(context.Background(), "serretime.Analyze", func(context.Context) (*Analysis, error) {
+		if err := d.ensureObs(opt); err != nil {
+			return nil, err
+		}
+		return d.analyzeAt(d.g, graph.NewRetiming(d.g), phi, opt)
+	})
 }
 
 func (d *Design) analyzeAt(g *graph.Graph, r graph.Retiming, phi float64, opt AnalysisOptions) (*Analysis, error) {
