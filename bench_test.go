@@ -26,6 +26,7 @@ import (
 	"serretime/internal/graph"
 	"serretime/internal/retime"
 	"serretime/internal/ser"
+	"serretime/internal/telemetry"
 )
 
 // benchCircuits is a representative slice of Table I: a sparse ISCAS
@@ -328,6 +329,32 @@ func BenchmarkAblation_LiteralGains(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Minimize(p.base, gains, obsI, coreOpts(p, true)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetry_Overhead measures the instrumentation cost of a full
+// MinObsWin run: the always-on no-op recorder (the ≤1% overhead budget of
+// DESIGN.md §9) against a live in-memory collector and a nil recorder.
+func BenchmarkTelemetry_Overhead(b *testing.B) {
+	p := prepare(b, "b14_1_opt", 4)
+	for _, mode := range []struct {
+		name string
+		rec  func() telemetry.Recorder
+	}{
+		{"nil", func() telemetry.Recorder { return nil }},
+		{"nop", func() telemetry.Recorder { return telemetry.Nop }},
+		{"collector", func() telemetry.Recorder { return telemetry.NewCollector() }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := coreOpts(p, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt.Recorder = mode.rec()
+				if _, err := core.Minimize(p.base, p.gains, p.obsI, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,28 +8,40 @@
 // Usage:
 //
 //	seranalyze -in s27.bench [-phi 0] [-frames 15] [-words 4] [-seed 1]
+//	seranalyze -trace run.jsonl
 //
 // With -phi 0 the combinational critical path is used as the clock period.
+// With -trace, a JSONL telemetry trace (serbench -trace) is replayed into
+// a per-run phase/counter report instead of analyzing a netlist.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"serretime"
+	"serretime/internal/telemetry"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input .bench netlist (required)")
+		in     = flag.String("in", "", "input .bench netlist (required unless -trace)")
 		phi    = flag.Float64("phi", 0, "clock period (0 = critical path)")
 		frames = flag.Int("frames", 15, "time-frame expansion depth n")
 		words  = flag.Int("words", 4, "signature width in 64-bit words")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		top    = flag.Int("top", 0, "also list the top-N SER contributors")
+		trace  = flag.String("trace", "", "replay a JSONL telemetry trace into a phase/counter report")
 	)
 	flag.Parse()
+	if *trace != "" {
+		if err := traceReport(os.Stdout, *trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "seranalyze: -in is required")
 		flag.Usage()
@@ -73,6 +85,36 @@ func main() {
 				c.Name, c.Kind, c.SER, 100*c.Share, c.Obs, c.Window)
 		}
 	}
+}
+
+// traceReport reads a JSONL telemetry trace and prints one phase/counter
+// report per run label, in sorted order.
+func traceReport(w *os.File, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+	runs := telemetry.Replay(recs)
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "trace %s: %d events, %d run(s)\n\n", path, len(recs), len(runs))
+	for _, name := range names {
+		if err := runs[name].WriteReport(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func pct(part, whole float64) float64 {

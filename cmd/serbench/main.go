@@ -8,7 +8,8 @@
 // seeded synthetic substitutes reproduce each circuit's published |V|,
 // |E|, #FF and clock-period regime (see DESIGN.md §4). Absolute SER values
 // therefore differ; the comparison targets the shape: who wins, by what
-// factor, and where the two algorithms coincide.
+// factor, and where the two algorithms coincide. Real netlists can be
+// swept instead of the Table I set with -in file.bench,file2.blif,...
 //
 // Every circuit runs under panic isolation and the graceful-degradation
 // chain of serretime.RetimeRobust: a crash, stall, or timeout in one
@@ -16,11 +17,18 @@
 // the sweep completes. The exit status is 0 only when every row is a
 // full-strength result; 2 when some rows degraded; 1 when any failed.
 //
+// Observability: -trace streams every solver phase span and counter as
+// JSONL (one run label per circuit; read back with seranalyze -trace),
+// -metrics adds a per-row phase-breakdown column from an in-memory
+// collector, and -cpuprofile/-memprofile write standard runtime/pprof
+// profiles of the sweep.
+//
 // Usage:
 //
-//	serbench [-scale auto|N] [-circuits name,name,...] [-parallel N]
+//	serbench [-scale auto|N] [-circuits name,name,...] [-in files] [-parallel N]
 //	         [-frames N] [-words N] [-engine closure|forest] [-verify]
 //	         [-timeout D] [-retries N] [-stallsteps N] [-faultinject names]
+//	         [-trace out.jsonl] [-metrics] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -29,7 +37,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,6 +48,7 @@ import (
 	"serretime"
 	"serretime/internal/gen"
 	"serretime/internal/guard"
+	"serretime/internal/telemetry"
 )
 
 type row struct {
@@ -53,6 +64,7 @@ type row struct {
 	refTime, winTime time.Duration
 	err              error
 	paper            gen.TableISpec
+	phases           string // -metrics: level-1 phase breakdown of the row's run
 }
 
 // status renders the row's outcome for the table's status column.
@@ -69,6 +81,7 @@ func (r *row) status() string {
 type config struct {
 	scaleFlag   string
 	circuits    string
+	inFiles     string
 	parallel    int
 	frames      int
 	words       int
@@ -79,10 +92,21 @@ type config struct {
 	retries     int
 	stallSteps  int
 	faultInject string
+	tracePath   string
+	metrics     bool
+	cpuProfile  string
+	memProfile  string
 }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// job is one sweep entry: a Table I circuit by name, or (with -in) a
+// netlist file to load.
+type job struct {
+	name string
+	path string // empty for Table I synthetic circuits
 }
 
 // run is the testable entry point: it parses args, sweeps the circuits,
@@ -94,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var cfg config
 	fs.StringVar(&cfg.scaleFlag, "scale", "auto", "shrink factor: auto, or an integer >= 1 applied to every circuit")
 	fs.StringVar(&cfg.circuits, "circuits", "", "comma-separated circuit names (default: all 21 of Table I)")
+	fs.StringVar(&cfg.inFiles, "in", "", "comma-separated netlist files (.bench/.blif/.v) swept instead of the Table I set")
 	fs.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "circuits processed concurrently")
 	fs.IntVar(&cfg.frames, "frames", 15, "time-frame expansion depth n")
 	fs.IntVar(&cfg.words, "words", 4, "signature width in 64-bit words")
@@ -104,13 +129,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.retries, "retries", 0, "extra attempts per degradation tier after a transient failure")
 	fs.IntVar(&cfg.stallSteps, "stallsteps", 0, "abort an optimizer run after this many steps without improvement (0 = off)")
 	fs.StringVar(&cfg.faultInject, "faultinject", "", "comma-separated circuit names whose runs are fault-injected (testing)")
+	fs.StringVar(&cfg.tracePath, "trace", "", "write a JSONL telemetry trace of every run (read with seranalyze -trace)")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "collect per-circuit phase metrics and add a phase-breakdown column")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the sweep")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	names := serretime.TableICircuits()
-	if cfg.circuits != "" {
-		names = strings.Split(cfg.circuits, ",")
+	var jobs []job
+	if cfg.inFiles != "" {
+		for _, p := range strings.Split(cfg.inFiles, ",") {
+			base := filepath.Base(p)
+			jobs = append(jobs, job{name: strings.TrimSuffix(base, filepath.Ext(base)), path: p})
+		}
+	} else {
+		names := serretime.TableICircuits()
+		if cfg.circuits != "" {
+			names = strings.Split(cfg.circuits, ",")
+		}
+		for _, n := range names {
+			jobs = append(jobs, job{name: n})
+		}
 	}
 	eng := serretime.EngineClosure
 	if cfg.engine == "forest" {
@@ -126,21 +166,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rows := make([]*row, len(names))
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "serbench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var tw *telemetry.JSONLWriter
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: %v\n", err)
+			return 2
+		}
+		tw = telemetry.NewJSONLWriter(f)
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintf(stderr, "serbench: trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	rows := make([]*row, len(jobs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(cfg.parallel, 1))
-	for i, name := range names {
-		i, name := i, name
+	sem := make(chan struct{}, max(cfg.parallel, 1))
+	for i, j := range jobs {
+		i, j := i, j
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = runOne(name, cfg, eng)
+			rows[i] = runOne(j, cfg, eng, tw)
 		}()
 	}
 	wg.Wait()
-	printTable(stdout, rows)
+	printTable(stdout, rows, cfg.metrics)
+
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: %v\n", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "serbench: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 
 	var failed, degraded []string
 	for _, r := range rows {
@@ -167,44 +249,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runOne(name string, cfg config, eng serretime.EngineKind) *row {
-	r := &row{name: name}
+func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWriter) *row {
+	r := &row{name: j.name}
 	ctx := context.Background()
+
+	// Per-circuit recorders: a run-labelled view of the shared trace, an
+	// in-memory collector for the -metrics column, or both.
+	var col *telemetry.Collector
+	var recs []telemetry.Recorder
+	if cfg.metrics {
+		col = telemetry.NewCollector()
+		recs = append(recs, col)
+	}
+	if tw != nil {
+		recs = append(recs, tw.Run(j.name))
+	}
+	rec := telemetry.Tee(recs...)
+	defer func() {
+		if col != nil {
+			r.phases = col.Stats().PhaseBreakdown(3)
+		}
+	}()
 
 	// Test hook: a fault armed for this circuit panics here; guard.Run
 	// turns it into a failed row instead of a crashed sweep.
-	if err := guard.Run(ctx, "serbench."+name, func(context.Context) error {
-		guard.Failpoint("serbench.circuit:" + name)
+	if err := guard.Run(ctx, "serbench."+j.name, func(context.Context) error {
+		guard.Failpoint("serbench.circuit:" + j.name)
 		return nil
 	}); err != nil {
 		r.err = err
 		return r
 	}
 
-	spec, err := gen.FindTableI(name)
-	if err != nil {
-		r.err = err
-		return r
-	}
-	r.paper = spec
-	r.scale = 1
-	switch cfg.scaleFlag {
-	case "auto":
-		r.scale = (spec.Gates + cfg.autoCap - 1) / cfg.autoCap
-	default:
-		n, err := strconv.Atoi(cfg.scaleFlag)
-		if err != nil || n < 1 {
-			r.err = fmt.Errorf("bad -scale %q", cfg.scaleFlag)
-			return r
-		}
-		r.scale = n
-	}
-	d, err := serretime.NewTableIDesign(name, r.scale)
-	if err != nil {
-		r.err = err
-		return r
-	}
-	r.stats, err = d.Stats()
+	rec.SpanStart(telemetry.PhaseSynthesize)
+	d, err := synthesize(j, cfg, r)
+	rec.SpanEnd(telemetry.PhaseSynthesize, err)
 	if err != nil {
 		r.err = err
 		return r
@@ -216,6 +295,7 @@ func runOne(name string, cfg config, eng serretime.EngineKind) *row {
 			Engine:     eng,
 			Verify:     cfg.verify,
 			StallSteps: cfg.stallSteps,
+			Recorder:   rec,
 		},
 		Timeout: cfg.timeout,
 		Retries: cfg.retries,
@@ -247,13 +327,103 @@ func runOne(name string, cfg config, eng serretime.EngineKind) *row {
 	return r
 }
 
-func printTable(w io.Writer, rows []*row) {
+// synthesize produces the row's design: a scaled Table I synthetic, or a
+// netlist loaded from disk (-in). It fills r.scale, r.paper and r.stats.
+func synthesize(j job, cfg config, r *row) (*serretime.Design, error) {
+	var d *serretime.Design
+	r.scale = 1
+	if j.path != "" {
+		var err error
+		if d, err = serretime.Load(j.path); err != nil {
+			return nil, err
+		}
+	} else {
+		spec, err := gen.FindTableI(j.name)
+		if err != nil {
+			return nil, err
+		}
+		r.paper = spec
+		switch cfg.scaleFlag {
+		case "auto":
+			r.scale = (spec.Gates + cfg.autoCap - 1) / cfg.autoCap
+		default:
+			n, err := strconv.Atoi(cfg.scaleFlag)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -scale %q", cfg.scaleFlag)
+			}
+			r.scale = n
+		}
+		if d, err = serretime.NewTableIDesign(j.name, r.scale); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	r.stats, err = d.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// tableRow is one line of a column-aligned table: either a full set of
+// cells, or a short prefix followed by free-form text (error rows).
+type tableRow struct {
+	cells []string
+	tail  string // printed verbatim after the cells when non-empty
+}
+
+// writeAligned prints rows with each column as wide as its widest cell.
+// left marks left-aligned columns (default right); the last column is
+// never padded.
+func writeAligned(w io.Writer, rows []tableRow, left map[int]bool) {
+	var width []int
+	for _, r := range rows {
+		for i, c := range r.cells {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			width[i] = max(width[i], len(c))
+		}
+	}
+	for _, r := range rows {
+		var b strings.Builder
+		for i, c := range r.cells {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			last := i == len(r.cells)-1 && r.tail == ""
+			switch {
+			case last && left[i]:
+				b.WriteString(c)
+			case left[i]:
+				b.WriteString(c + strings.Repeat(" ", width[i]-len(c)))
+			default:
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)) + c)
+			}
+		}
+		if r.tail != "" {
+			b.WriteByte(' ')
+			b.WriteString(r.tail)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+func printTable(w io.Writer, rows []*row, metrics bool) {
 	fmt.Fprintln(w, "Reproduction of Table I (Lu & Zhou, DATE 2013) on synthetic substitutes")
 	fmt.Fprintln(w, "paper columns in [brackets]; ratio = SER_ref / SER_new")
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-12s %-10s %5s %7s %8s %7s %6s %3s %9s | %8s %8s %7s | %8s %8s %7s %3s | %7s %7s\n",
-		"circuit", "status", "scale", "|V|", "|E|", "#FF", "phi", "sh", "SER",
-		"dSERref", "[paper]", "t_ref", "dSERnew", "[paper]", "t_new", "#J", "ratio", "[paper]")
+
+	header := []string{"circuit", "status", "scale", "|V|", "|E|", "#FF", "phi", "sh", "SER", "|",
+		"dSERref", "[paper]", "t_ref", "|", "dSERnew", "[paper]", "t_new", "#J", "|", "ratio", "[paper]"}
+	if metrics {
+		header = append(header, "|", "phases")
+	}
+	left := map[int]bool{0: true, 1: true}
+	if metrics {
+		left[len(header)-1] = true
+	}
+	out := []tableRow{{cells: header}}
 	var sumRef, sumWin, sumRatio float64
 	var n int
 	for _, r := range rows {
@@ -261,7 +431,10 @@ func printTable(w io.Writer, rows []*row) {
 			continue
 		}
 		if r.err != nil {
-			fmt.Fprintf(w, "%-12s %-10s ERROR: %v\n", r.name, r.status(), r.err)
+			out = append(out, tableRow{
+				cells: []string{r.name, r.status()},
+				tail:  fmt.Sprintf("ERROR: %v", r.err),
+			})
 			continue
 		}
 		ratio := 100.0
@@ -272,37 +445,58 @@ func printTable(w io.Writer, rows []*row) {
 		if r.shOK {
 			sh = "yes"
 		}
-		fmt.Fprintf(w, "%-12s %-10s %5d %7d %8d %7d %6.1f %3s %9.2e | %7.2f%% %7.2f%% %6.2fs | %7.2f%% %7.2f%% %6.2fs %3d | %6.1f%% %6.0f%%\n",
-			r.name, r.status(), r.scale, r.stats.Vertices, r.stats.Edges, int64(r.win.Before.SharedFFs),
-			r.phi, sh, r.serOrig,
-			r.ref.DeltaSER(), r.paper.PaperDSERRef, r.refTime.Seconds(),
-			r.win.DeltaSER(), r.paper.PaperDSERNew, r.winTime.Seconds(), r.win.Rounds,
-			ratio, r.paper.PaperRatio)
+		cells := []string{
+			r.name, r.status(),
+			strconv.Itoa(r.scale),
+			strconv.Itoa(r.stats.Vertices),
+			strconv.Itoa(r.stats.Edges),
+			strconv.FormatInt(int64(r.win.Before.SharedFFs), 10),
+			fmt.Sprintf("%.1f", r.phi),
+			sh,
+			fmt.Sprintf("%.2e", r.serOrig),
+			"|",
+			fmt.Sprintf("%.2f%%", r.ref.DeltaSER()),
+			fmt.Sprintf("%.2f%%", r.paper.PaperDSERRef),
+			fmt.Sprintf("%.2fs", r.refTime.Seconds()),
+			"|",
+			fmt.Sprintf("%.2f%%", r.win.DeltaSER()),
+			fmt.Sprintf("%.2f%%", r.paper.PaperDSERNew),
+			fmt.Sprintf("%.2fs", r.winTime.Seconds()),
+			strconv.Itoa(r.win.Rounds),
+			"|",
+			fmt.Sprintf("%.1f%%", ratio),
+			fmt.Sprintf("%.0f%%", r.paper.PaperRatio),
+		}
+		if metrics {
+			cells = append(cells, "|", r.phases)
+		}
+		out = append(out, tableRow{cells: cells})
 		sumRef += r.ref.DeltaSER()
 		sumWin += r.win.DeltaSER()
 		sumRatio += ratio
 		n++
 	}
+	writeAligned(w, out, left)
 	if n > 0 {
-		fmt.Fprintf(w, "%-12s %s\n", "AVG.", strings.Repeat("-", 40))
-		fmt.Fprintf(w, "%-12s mean dSER: MinObs %.2f%% [paper -26.70%%]   MinObsWin %.2f%% [paper -32.70%%]   mean ratio %.1f%% [paper 115%%]\n",
-			"", sumRef/float64(n), sumWin/float64(n), sumRatio/float64(n))
+		fmt.Fprintf(w, "%s %s\n", "AVG.", strings.Repeat("-", 40))
+		fmt.Fprintf(w, "mean dSER: MinObs %.2f%% [paper -26.70%%]   MinObsWin %.2f%% [paper -32.70%%]   mean ratio %.1f%% [paper 115%%]\n",
+			sumRef/float64(n), sumWin/float64(n), sumRatio/float64(n))
 	}
 	// Register deltas, compactly.
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-12s %9s %9s | %9s %9s\n", "circuit", "dFFref", "[paper]", "dFFnew", "[paper]")
+	ffRows := []tableRow{{cells: []string{"circuit", "dFFref", "[paper]", "|", "dFFnew", "[paper]"}}}
 	for _, r := range rows {
 		if r == nil || r.err != nil {
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
-			r.name, r.ref.DeltaFF(), r.paper.PaperDFFRef, r.win.DeltaFF(), r.paper.PaperDFFNew)
+		ffRows = append(ffRows, tableRow{cells: []string{
+			r.name,
+			fmt.Sprintf("%.2f%%", r.ref.DeltaFF()),
+			fmt.Sprintf("%.2f%%", r.paper.PaperDFFRef),
+			"|",
+			fmt.Sprintf("%.2f%%", r.win.DeltaFF()),
+			fmt.Sprintf("%.2f%%", r.paper.PaperDFFNew),
+		}})
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	writeAligned(w, ffRows, map[int]bool{0: true})
 }

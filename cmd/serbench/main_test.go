@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"serretime"
+	"serretime/internal/telemetry"
 )
 
 // sweepArgs shrinks every circuit to the 16-gate floor and uses a
@@ -74,6 +77,59 @@ func TestFaultInjectedSweep(t *testing.T) {
 		if !found {
 			t.Errorf("circuit %s did not complete ok alongside the injected fault", name)
 		}
+	}
+}
+
+// TestTraceRoundTrip drives the acceptance path of the telemetry layer:
+// a -trace sweep of a real netlist must emit JSONL that replays into a
+// RunStats whose top-level phase durations cover at least 90% of the
+// run's wall-clock, and whose report renders.
+func TestTraceRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{"-in", "../../testdata/s27.bench", "-frames", "2", "-words", "1",
+		"-trace", trace, "-metrics"}
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "phases") {
+		t.Errorf("-metrics did not add the phase-breakdown column:\n%s", out.String())
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	runs := telemetry.Replay(recs)
+	s := runs["s27"]
+	if s == nil {
+		t.Fatalf("no run labelled s27 in trace (%d runs)", len(runs))
+	}
+	if !s.Observed(telemetry.PhaseSynthesize) || !s.Observed(telemetry.PhaseMinimize) {
+		t.Errorf("expected phases missing: synthesize=%v minimize=%v",
+			s.Observed(telemetry.PhaseSynthesize), s.Observed(telemetry.PhaseMinimize))
+	}
+	if s.Counter(telemetry.CounterSteps) == 0 {
+		t.Error("steps counter is zero")
+	}
+	level, frac := s.Coverage()
+	if level != 0 || frac < 0.9 {
+		t.Errorf("level-%d coverage %.1f%%, want level 0 >= 90%%", level, 100*frac)
+	}
+	var report strings.Builder
+	if err := s.WriteReport(&report, "s27"); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if !strings.Contains(report.String(), "== run s27 ==") {
+		t.Errorf("report malformed:\n%s", report.String())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"log"
 
 	"serretime"
+	"serretime/internal/telemetry"
 )
 
 // ExampleLoadBench loads a netlist and prints its statistics.
@@ -64,6 +65,33 @@ func ExampleDesign_Retime() {
 	// algorithm: MinObsWin
 	// retimed gates: 8
 	// objective never worsens: true
+}
+
+// ExampleDesign_Retime_telemetry attaches an in-memory telemetry collector
+// to a retiming run and inspects the resulting phase/counter summary.
+func ExampleDesign_Retime_telemetry() {
+	d, err := serretime.LoadBench("testdata/pipeline4.bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	res, err := d.Retime(serretime.RetimeOptions{
+		Algorithm: serretime.MinObsWin,
+		Recorder:  col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := col.Stats()
+	fmt.Printf("init observed: %v\n", stats.Observed(telemetry.PhaseInit))
+	fmt.Printf("minimize observed: %v\n", stats.Observed(telemetry.PhaseMinimize))
+	fmt.Printf("steps counted: %v\n", stats.Counter(telemetry.CounterSteps) >= int64(res.Steps))
+	fmt.Printf("commits == rounds: %v\n", stats.Counter(telemetry.CounterCommits) == int64(res.Rounds))
+	// Output:
+	// init observed: true
+	// minimize observed: true
+	// steps counted: true
+	// commits == rounds: true
 }
 
 // ExampleSynthesize generates a seeded benchmark-like circuit.

@@ -22,6 +22,7 @@ import (
 
 	"serretime/internal/elw"
 	"serretime/internal/guard"
+	"serretime/internal/telemetry"
 
 	"serretime/internal/graph"
 )
@@ -101,6 +102,11 @@ type Options struct {
 	// far. 0 disables the watchdog (the MaxSteps cap still bounds the
 	// run).
 	StallSteps int
+	// Recorder receives the run's telemetry: phase spans (positive-set,
+	// find-violations, elw-recompute, repair), move/violation counters,
+	// and the peak retiming span gauge. nil records nothing (the no-op
+	// recorder adds zero allocations to the hot path).
+	Recorder telemetry.Recorder
 }
 
 // engine abstracts the closed-set machinery shared by Minimize.
@@ -260,6 +266,7 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		maxSteps = 80*g.NumVertices() + 2000
 	}
 	params := elw.Params{Phi: opt.Phi, Ts: opt.Ts, Th: opt.Th}
+	rec := telemetry.OrNop(opt.Recorder)
 
 	res := &Result{
 		R:          graph.NewRetiming(g),
@@ -271,7 +278,7 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		var e engine
 		switch opt.Engine {
 		case EngineForest:
-			fe, err := newForestEngine(g.NumVertices(), gains)
+			fe, err := newForestEngine(g.NumVertices(), gains, rec)
 			if err != nil {
 				return nil, err
 			}
@@ -296,21 +303,36 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 	rTent := graph.NewRetiming(g)
 	maskSnap := make([]bool, g.NumVertices())
 	needExact := true
+	// curPhase tracks the last inner-loop activity so a timeout or stall
+	// observed at the loop head is attributed to the phase the run
+	// actually died in (error text and telemetry trace agree).
+	curPhase := telemetry.PhaseMinimize.String()
 	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
-		if cerr := guard.Checkpoint(ctx, "core.Minimize"); cerr != nil {
+		if cerr := guard.CheckpointIn(ctx, "core.Minimize", curPhase); cerr != nil {
 			res.Objective = Objective(g, res.R, obsInt)
 			return res, cerr
 		}
-		if serr := wd.Observe(committedObj); serr != nil {
+		wd.Phase = curPhase
+		wdResets := wd.Resets()
+		serr := wd.Observe(committedObj)
+		if d := wd.Resets() - wdResets; d > 0 {
+			rec.Count(telemetry.CounterWatchdogResets, int64(d))
+		}
+		if serr != nil {
 			res.Objective = Objective(g, res.R, obsInt)
 			return res, serr
 		}
+		rec.Count(telemetry.CounterSteps, 1)
 		var members []int32
 		var mask []bool
 		exact := false
 		if needExact {
 			ExactCalls++
+			rec.Count(telemetry.CounterExactClosures, 1)
+			rec.SpanStart(telemetry.PhasePositiveSet)
 			members, mask = eng.PositiveSet()
+			rec.SpanEnd(telemetry.PhasePositiveSet, nil)
+			curPhase = telemetry.PhasePositiveSet.String()
 			exact = true
 			needExact = false
 		} else {
@@ -339,7 +361,10 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		if opt.SingleViolation {
 			limit = 1
 		}
-		viols, err := findViolations(g, rTent, maskSnap, params, opt, order, limit)
+		rec.SpanStart(telemetry.PhaseFindViolations)
+		viols, err := findViolations(g, rTent, maskSnap, params, opt, order, limit, rec)
+		rec.SpanEnd(telemetry.PhaseFindViolations, err)
+		curPhase = telemetry.PhaseFindViolations.String()
 		if err != nil {
 			return nil, err
 		}
@@ -353,6 +378,8 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 			// Commit and start a fresh round.
 			copy(res.R, rTent)
 			res.Rounds++
+			rec.Count(telemetry.CounterCommits, 1)
+			rec.Gauge(telemetry.GaugePeakRetimingSpan, peakSpan(res.R))
 			committedObj = Objective(g, res.R, obsInt)
 			if eng, err = newEngine(); err != nil {
 				return nil, err
@@ -360,17 +387,22 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 			needExact = true
 			continue
 		}
+		rec.SpanStart(telemetry.PhaseRepair)
 		for _, v := range viols {
 			res.Violations[v.kind]++
+			rec.Count(violationCounter(v.kind), 1)
 			if err := repair(eng, v, maskSnap); err != nil {
+				rec.SpanEnd(telemetry.PhaseRepair, err)
 				return nil, err
 			}
 		}
+		rec.SpanEnd(telemetry.PhaseRepair, nil)
+		curPhase = telemetry.PhaseRepair.String()
 	}
 	if res.Steps >= maxSteps {
 		res.Objective = Objective(g, res.R, obsInt)
 		return res, fmt.Errorf("core: step cap %d exceeded (possible oscillation): %w",
-			maxSteps, &guard.StallError{Op: "core.Minimize", Steps: maxSteps, Objective: committedObj})
+			maxSteps, &guard.StallError{Op: "core.Minimize", Phase: curPhase, Steps: maxSteps, Objective: committedObj})
 	}
 	res.Objective = Objective(g, res.R, obsInt)
 	if err := g.CheckLegal(res.R); err != nil {
@@ -415,14 +447,14 @@ func repair(eng engine, v *violation, inI []bool) error {
 // same vertex must be observed sequentially — see Figure 3's weight
 // updates). limit > 0 caps the count (1 reproduces Algorithm 1 verbatim);
 // an empty result means the move is clean.
-func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Params, opt Options, order []Kind, limit int) ([]*violation, error) {
+func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Params, opt Options, order []Kind, limit int, rec telemetry.Recorder) ([]*violation, error) {
 	var lab *elw.Labels
 	labels := func() (*elw.Labels, error) {
 		if lab != nil {
 			return lab, nil
 		}
 		var err error
-		lab, err = elw.ComputeLabels(g, rt, params)
+		lab, err = elw.ComputeLabelsRec(g, rt, params, rec)
 		return lab, err
 	}
 	var out []*violation
@@ -514,6 +546,31 @@ func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Pa
 		}
 	}
 	return out, nil
+}
+
+// violationCounter maps a violation kind to its telemetry counter.
+func violationCounter(k Kind) telemetry.Counter {
+	switch k {
+	case KindP0:
+		return telemetry.CounterViolationsP0
+	case KindP1:
+		return telemetry.CounterViolationsP1
+	default:
+		return telemetry.CounterViolationsP2
+	}
+}
+
+// peakSpan is the largest backward move |r(v)| committed so far (R is
+// non-positive under the Section V rebase), reported through the
+// peak-retiming-span gauge.
+func peakSpan(r graph.Retiming) int64 {
+	var peak int64
+	for _, rv := range r {
+		if s := -int64(rv); s > peak {
+			peak = s
+		}
+	}
+	return peak
 }
 
 // drainTarget picks the fanout edge of z that pins its R label and returns

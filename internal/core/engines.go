@@ -5,6 +5,7 @@ import (
 
 	"serretime/internal/forest"
 	"serretime/internal/maxflow"
+	"serretime/internal/telemetry"
 )
 
 // closureEngine keeps the active constraints as an explicit digraph and
@@ -236,11 +237,12 @@ type forestEngine struct {
 	f *forest.Forest
 }
 
-func newForestEngine(n int, gains []int64) (*forestEngine, error) {
+func newForestEngine(n int, gains []int64, rec telemetry.Recorder) (*forestEngine, error) {
 	f, err := forest.New(n, gains)
 	if err != nil {
 		return nil, err
 	}
+	f.Instrument(rec)
 	return &forestEngine{f: f}, nil
 }
 

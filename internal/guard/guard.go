@@ -114,14 +114,21 @@ func (e *InfeasibleError) Error() string {
 func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
 
 // StallError reports that the optimizer's watchdog fired: Steps iterations
-// elapsed with the objective pinned at Objective.
+// elapsed with the objective pinned at Objective. Phase, when known, names
+// the solver phase that was executing when the run died (matching the
+// telemetry trace's phase taxonomy), so error text and traces agree.
 type StallError struct {
 	Op        string
+	Phase     string
 	Steps     int
 	Objective int64
 }
 
 func (e *StallError) Error() string {
+	if e.Phase != "" {
+		return fmt.Sprintf("%s: stalled in %s: no objective improvement in %d steps (objective %d)",
+			e.Op, e.Phase, e.Steps, e.Objective)
+	}
 	return fmt.Sprintf("%s: stalled: no objective improvement in %d steps (objective %d)",
 		e.Op, e.Steps, e.Objective)
 }
@@ -129,14 +136,20 @@ func (e *StallError) Error() string {
 func (e *StallError) Unwrap() error { return ErrStalled }
 
 // TimeoutError reports an observed context cancellation or deadline, with
-// the context's cause preserved for errors.Is/As chains.
+// the context's cause preserved for errors.Is/As chains. Phase, when
+// known, names the solver phase that was executing when the deadline was
+// observed (matching the telemetry trace's phase taxonomy).
 type TimeoutError struct {
 	Op    string
+	Phase string
 	Cause error
 }
 
 func (e *TimeoutError) Error() string {
-	if e.Op != "" {
+	switch {
+	case e.Op != "" && e.Phase != "":
+		return fmt.Sprintf("%s: %v in %s (%v)", e.Op, ErrTimeout, e.Phase, e.Cause)
+	case e.Op != "":
 		return fmt.Sprintf("%s: %v (%v)", e.Op, ErrTimeout, e.Cause)
 	}
 	return fmt.Sprintf("%v (%v)", ErrTimeout, e.Cause)
@@ -150,9 +163,16 @@ func (e *TimeoutError) Unwrap() []error { return []error{ErrTimeout, e.Cause} }
 // done. Iterative code calls it at loop heads; op names the loop for
 // diagnostics.
 func Checkpoint(ctx context.Context, op string) error {
+	return CheckpointIn(ctx, op, "")
+}
+
+// CheckpointIn is Checkpoint with the currently-executing phase attached
+// to the error, so a timeout names where the run died. The check itself
+// allocates nothing while ctx is live.
+func CheckpointIn(ctx context.Context, op, phase string) error {
 	select {
 	case <-ctx.Done():
-		return &TimeoutError{Op: op, Cause: context.Cause(ctx)}
+		return &TimeoutError{Op: op, Phase: phase, Cause: context.Cause(ctx)}
 	default:
 		return nil
 	}
@@ -191,14 +211,20 @@ func Do[T any](ctx context.Context, op string, fn func(context.Context) (T, erro
 
 // Watchdog detects stalled minimization loops: it observes the objective
 // once per iteration and fires after Limit consecutive observations
-// without strict improvement (decrease). The zero Watchdog is disabled.
+// without strict improvement (decrease). The zero Watchdog is disabled
+// (but still tracks streaks, so Resets stays meaningful for telemetry).
 type Watchdog struct {
 	Op    string
 	Limit int
+	// Phase, when set by the caller before Observe, names the solver
+	// phase a fired StallError is attributed to. Callers update it as
+	// their loop moves between phases.
+	Phase string
 
 	best    int64
 	hasBest bool
 	streak  int
+	resets  int
 }
 
 // NewWatchdog returns a watchdog firing after limit non-improving
@@ -210,18 +236,31 @@ func NewWatchdog(op string, limit int) *Watchdog {
 // Observe feeds the current objective value. It returns a *StallError when
 // the objective has not strictly decreased in Limit consecutive calls.
 func (w *Watchdog) Observe(objective int64) error {
-	if w == nil || w.Limit <= 0 {
+	if w == nil {
 		return nil
 	}
 	if !w.hasBest || objective < w.best {
+		if w.streak > 0 {
+			w.resets++
+		}
 		w.best = objective
 		w.hasBest = true
 		w.streak = 0
 		return nil
 	}
 	w.streak++
-	if w.streak >= w.Limit {
-		return &StallError{Op: w.Op, Steps: w.streak, Objective: w.best}
+	if w.Limit > 0 && w.streak >= w.Limit {
+		return &StallError{Op: w.Op, Phase: w.Phase, Steps: w.streak, Objective: w.best}
 	}
 	return nil
+}
+
+// Resets counts streak resets so far: improvements observed after at
+// least one non-improving observation (telemetry's watchdog-resets
+// counter reports the deltas).
+func (w *Watchdog) Resets() int {
+	if w == nil {
+		return 0
+	}
+	return w.resets
 }

@@ -13,6 +13,7 @@ import (
 	"serretime/internal/elw"
 	"serretime/internal/graph"
 	"serretime/internal/guard"
+	"serretime/internal/telemetry"
 )
 
 const eps = 1e-9
@@ -69,7 +70,7 @@ func feasCtx(ctx context.Context, g *graph.Graph, phi, ts float64) (graph.Retimi
 	r := graph.NewRetiming(g)
 	limit := feasPassCap(g)
 	for it := 0; it < limit; it++ {
-		if cerr := guard.Checkpoint(ctx, "retime.FEAS"); cerr != nil {
+		if cerr := guard.CheckpointIn(ctx, "retime.FEAS", telemetry.PhaseInit.String()); cerr != nil {
 			return nil, false, cerr
 		}
 		arr, _, err := g.ArrivalTimes(r)
@@ -111,7 +112,7 @@ func feasBackwardCtx(ctx context.Context, g *graph.Graph, phi, ts float64) (grap
 	r := graph.NewRetiming(g)
 	limit := feasPassCap(g)
 	for it := 0; it < limit; it++ {
-		if cerr := guard.Checkpoint(ctx, "retime.FEASBackward"); cerr != nil {
+		if cerr := guard.CheckpointIn(ctx, "retime.FEASBackward", telemetry.PhaseInit.String()); cerr != nil {
 			return nil, false, cerr
 		}
 		rarr, err := reverseArrivals(g, r)
@@ -233,11 +234,11 @@ func snapUp(x float64) float64 { return math.Ceil(x/grid-eps) * grid }
 // structures, in which case ok is false (the caller falls back to
 // MinPeriod, as the paper prescribes).
 func SetupHold(g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool) {
-	r, ok, _ := setupHoldCtx(context.Background(), g, phi, ts, th)
+	r, ok, _ := setupHoldCtx(context.Background(), g, phi, ts, th, telemetry.Nop)
 	return r, ok
 }
 
-func setupHoldCtx(ctx context.Context, g *graph.Graph, phi, ts, th float64) (graph.Retiming, bool, error) {
+func setupHoldCtx(ctx context.Context, g *graph.Graph, phi, ts, th float64, rec telemetry.Recorder) (graph.Retiming, bool, error) {
 	r, ok, cerr := tryPeriod(ctx, g, phi, ts)
 	if cerr != nil {
 		return nil, false, cerr
@@ -249,7 +250,7 @@ func setupHoldCtx(ctx context.Context, g *graph.Graph, phi, ts, th float64) (gra
 	limit := 4*feasPassCap(g) + 16
 	bestHold, stall := 1<<30, 0
 	for it := 0; it < limit; it++ {
-		if cerr := guard.Checkpoint(ctx, "retime.SetupHold"); cerr != nil {
+		if cerr := guard.CheckpointIn(ctx, "retime.SetupHold", telemetry.PhaseInit.String()); cerr != nil {
 			return nil, false, cerr
 		}
 		arr, _, err := g.ArrivalTimes(r)
@@ -274,7 +275,7 @@ func setupHoldCtx(ctx context.Context, g *graph.Graph, phi, ts, th float64) (gra
 		if violated {
 			continue
 		}
-		lab, err := elw.ComputeLabels(g, r, p)
+		lab, err := elw.ComputeLabelsRec(g, r, p, rec)
 		if err != nil {
 			return nil, false, nil
 		}
@@ -357,11 +358,11 @@ func holdRepair(g *graph.Graph, r graph.Retiming, eid graph.EdgeID) bool {
 // MinPeriodSetupHold finds the smallest period (on the delay grid) for
 // which SetupHold succeeds.
 func MinPeriodSetupHold(g *graph.Graph, ts, th float64) (graph.Retiming, float64, bool) {
-	r, phi, ok, _ := minPeriodSetupHoldCtx(context.Background(), g, ts, th)
+	r, phi, ok, _ := minPeriodSetupHoldCtx(context.Background(), g, ts, th, telemetry.Nop)
 	return r, phi, ok
 }
 
-func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64) (graph.Retiming, float64, bool, error) {
+func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64, rec telemetry.Recorder) (graph.Retiming, float64, bool, error) {
 	_, crit, err := g.ArrivalTimes(graph.NewRetiming(g))
 	if err != nil {
 		return nil, 0, false, nil
@@ -371,13 +372,13 @@ func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64) 
 	if lo > hi {
 		lo = hi
 	}
-	if _, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th); cerr != nil {
+	if _, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th, rec); cerr != nil {
 		return nil, 0, false, cerr
 	} else if !ok {
 		// Try some slack above the unretimed critical path before giving
 		// up: hold repairs may need headroom.
 		hi2 := snapUp(hi * 1.5)
-		if _, ok, cerr := setupHoldCtx(ctx, g, hi2, ts, th); cerr != nil {
+		if _, ok, cerr := setupHoldCtx(ctx, g, hi2, ts, th, rec); cerr != nil {
 			return nil, 0, false, cerr
 		} else if !ok {
 			return nil, 0, false, nil
@@ -386,7 +387,7 @@ func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64) 
 	}
 	for lo < hi-eps {
 		mid := snapUp(lo + math.Floor((hi-lo)/(2*grid))*grid)
-		_, ok, cerr := setupHoldCtx(ctx, g, mid, ts, th)
+		_, ok, cerr := setupHoldCtx(ctx, g, mid, ts, th, rec)
 		if cerr != nil {
 			return nil, 0, false, cerr
 		}
@@ -396,7 +397,7 @@ func minPeriodSetupHoldCtx(ctx context.Context, g *graph.Graph, ts, th float64) 
 			lo = mid + grid
 		}
 	}
-	r, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th)
+	r, ok, cerr := setupHoldCtx(ctx, g, hi, ts, th, rec)
 	return r, hi, ok, cerr
 }
 
@@ -406,6 +407,10 @@ type Options struct {
 	Ts, Th float64
 	// Epsilon is the relaxation applied to the minimal period (paper: 0.10).
 	Epsilon float64
+	// Recorder receives the initialization's telemetry: one init span over
+	// the whole Section V computation plus the elw-recompute spans of the
+	// hold-repair loops. nil records nothing.
+	Recorder telemetry.Recorder
 }
 
 // DefaultOptions matches Section V / VI of the paper.
@@ -437,11 +442,19 @@ func Initialize(g *graph.Graph, o Options) (*Init, error) {
 // min-period searches and hold-repair loops check ctx and abort with an
 // error unwrapping to guard.ErrTimeout once it is done.
 func InitializeCtx(ctx context.Context, g *graph.Graph, o Options) (*Init, error) {
+	rec := telemetry.OrNop(o.Recorder)
+	rec.SpanStart(telemetry.PhaseInit)
+	init, err := initializeCtx(ctx, g, o, rec)
+	rec.SpanEnd(telemetry.PhaseInit, err)
+	return init, err
+}
+
+func initializeCtx(ctx context.Context, g *graph.Graph, o Options, rec telemetry.Recorder) (*Init, error) {
 	if o.Epsilon < 0 {
 		return nil, fmt.Errorf("retime: negative epsilon %g", o.Epsilon)
 	}
 	init := &Init{}
-	r, phi, ok, cerr := minPeriodSetupHoldCtx(ctx, g, o.Ts, o.Th)
+	r, phi, ok, cerr := minPeriodSetupHoldCtx(ctx, g, o.Ts, o.Th, rec)
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -453,7 +466,7 @@ func InitializeCtx(ctx context.Context, g *graph.Graph, o Options) (*Init, error
 		// Rmin: the minimal register-launched shortest path of the
 		// initialized circuit (independent of Φ).
 		p := elw.Params{Phi: init.Phi, Ts: o.Ts, Th: o.Th}
-		lab, err := elw.ComputeLabels(g, r, p)
+		lab, err := elw.ComputeLabelsRec(g, r, p, rec)
 		if err != nil {
 			return nil, err
 		}

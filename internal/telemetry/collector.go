@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector is an in-memory Recorder: counters are lock-free atomics,
+// spans are aggregated per phase under a mutex (the span paths run once
+// per optimizer iteration, not per inner operation, so the lock is cold).
+// A Collector is safe for concurrent use; use one Collector per run when
+// span durations must be attributed exactly (concurrent spans of the same
+// phase are matched LIFO).
+type Collector struct {
+	start    time.Time
+	counters [NumCounters]atomic.Int64
+	gauges   [NumGauges]atomic.Int64
+
+	mu     sync.Mutex
+	phases [NumPhases]phaseAgg
+}
+
+type phaseAgg struct {
+	open  []time.Time
+	count int
+	total time.Duration
+	errs  int
+}
+
+// NewCollector returns an empty Collector; its wall-clock starts now.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now()}
+}
+
+// SpanStart implements Recorder.
+func (c *Collector) SpanStart(p Phase) {
+	if p >= NumPhases {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.phases[p].open = append(c.phases[p].open, now)
+	c.mu.Unlock()
+}
+
+// SpanEnd implements Recorder. An unmatched SpanEnd is ignored.
+func (c *Collector) SpanEnd(p Phase, err error) {
+	if p >= NumPhases {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	a := &c.phases[p]
+	if n := len(a.open); n > 0 {
+		a.total += now.Sub(a.open[n-1])
+		a.open = a.open[:n-1]
+		a.count++
+		if err != nil {
+			a.errs++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Count implements Recorder (atomic, allocation-free).
+func (c *Collector) Count(ctr Counter, n int64) {
+	if ctr < NumCounters {
+		c.counters[ctr].Add(n)
+	}
+}
+
+// Gauge implements Recorder: the maximum sampled value is retained.
+func (c *Collector) Gauge(g Gauge, v int64) {
+	if g >= NumGauges {
+		return
+	}
+	for {
+		cur := c.gauges[g].Load()
+		if v <= cur || c.gauges[g].CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Stats snapshots the collector into a RunStats. Open spans are not
+// counted. Wall is the time since the collector was created.
+func (c *Collector) Stats() *RunStats {
+	s := &RunStats{Wall: time.Since(c.start)}
+	c.mu.Lock()
+	for p := Phase(0); p < NumPhases; p++ {
+		a := &c.phases[p]
+		s.Phases[p] = PhaseStats{Count: a.count, Total: a.total, Errs: a.errs}
+	}
+	c.mu.Unlock()
+	for ctr := Counter(0); ctr < NumCounters; ctr++ {
+		s.Counters[ctr] = c.counters[ctr].Load()
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		s.Gauges[g] = c.gauges[g].Load()
+	}
+	return s
+}
+
+// PhaseStats aggregates one phase's spans.
+type PhaseStats struct {
+	// Count is the number of completed spans.
+	Count int
+	// Total is the summed span duration.
+	Total time.Duration
+	// Errs is the number of spans that ended with a non-nil error.
+	Errs int
+}
+
+// RunStats is the run-level telemetry summary: wall-clock, per-phase
+// durations and counts, counter totals and gauge maxima.
+type RunStats struct {
+	// Wall is the run's wall-clock time (collector lifetime, or the
+	// first-to-last event distance of a replayed trace).
+	Wall time.Duration
+	// Phases is indexed by Phase.
+	Phases [NumPhases]PhaseStats
+	// Counters is indexed by Counter.
+	Counters [NumCounters]int64
+	// Gauges is indexed by Gauge (maximum sampled value).
+	Gauges [NumGauges]int64
+}
+
+// Observed reports whether at least one span of p completed.
+func (s *RunStats) Observed(p Phase) bool { return s.Phases[p].Count > 0 }
+
+// Counter returns the total of c.
+func (s *RunStats) Counter(c Counter) int64 { return s.Counters[c] }
+
+// Gauge returns the maximum sampled value of g.
+func (s *RunStats) Gauge(g Gauge) int64 { return s.Gauges[g] }
+
+// LevelTotal sums the durations of all phases at the given hierarchy
+// level. Same-level spans are disjoint, so the sum is comparable to Wall.
+func (s *RunStats) LevelTotal(level int) time.Duration {
+	var t time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.Level() == level {
+			t += s.Phases[p].Total
+		}
+	}
+	return t
+}
+
+// Coverage returns the shallowest hierarchy level with completed spans
+// and the fraction of Wall its summed durations account for. A healthy
+// trace covers ≥ 90% of wall-clock at its top level.
+func (s *RunStats) Coverage() (level int, frac float64) {
+	for l := 0; l <= 3; l++ {
+		for p := Phase(0); p < NumPhases; p++ {
+			if p.Level() == l && s.Phases[p].Count > 0 {
+				if s.Wall > 0 {
+					frac = float64(s.LevelTotal(l)) / float64(s.Wall)
+				}
+				return l, frac
+			}
+		}
+	}
+	return 0, 0
+}
+
+// PhaseBreakdown renders the level-1 pipeline stages as a compact
+// "phase pct" list ordered by descending share, e.g.
+// "minimize 62% analysis 21% init 9%". top caps the number of entries
+// (0 = all). It returns "-" when no level-1 span completed.
+func (s *RunStats) PhaseBreakdown(top int) string {
+	type pt struct {
+		p Phase
+		d time.Duration
+	}
+	var ps []pt
+	var total time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.Level() == 1 && s.Phases[p].Count > 0 {
+			ps = append(ps, pt{p, s.Phases[p].Total})
+			total += s.Phases[p].Total
+		}
+	}
+	if len(ps) == 0 || total == 0 {
+		return "-"
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].d != ps[j].d {
+			return ps[i].d > ps[j].d
+		}
+		return ps[i].p < ps[j].p
+	})
+	if top > 0 && len(ps) > top {
+		ps = ps[:top]
+	}
+	out := ""
+	for i, e := range ps {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s %.0f%%", e.p, 100*float64(e.d)/float64(total))
+	}
+	return out
+}
+
+// WriteReport prints the human-readable phase/counter report used by
+// `seranalyze -trace` (and round-trip-tested against JSONL traces).
+func (s *RunStats) WriteReport(w io.Writer, name string) error {
+	if name == "" {
+		name = "(unnamed)"
+	}
+	level, frac := s.Coverage()
+	if _, err := fmt.Fprintf(w, "== run %s ==\nwall-clock %v; level-%d phase coverage %.1f%%\n\n",
+		name, s.Wall.Round(time.Microsecond), level, 100*frac); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-26s %8s %14s %8s %6s\n", "phase", "calls", "total", "% wall", "errs")
+	for p := Phase(0); p < NumPhases; p++ {
+		ps := s.Phases[p]
+		if ps.Count == 0 {
+			continue
+		}
+		pct := 0.0
+		if s.Wall > 0 {
+			pct = 100 * float64(ps.Total) / float64(s.Wall)
+		}
+		indent := ""
+		for i := 0; i < p.Level(); i++ {
+			indent += "  "
+		}
+		fmt.Fprintf(w, "%-26s %8d %14v %7.1f%% %6d\n",
+			indent+p.String(), ps.Count, ps.Total.Round(time.Microsecond), pct, ps.Errs)
+	}
+	any := false
+	for c := Counter(0); c < NumCounters; c++ {
+		if s.Counters[c] == 0 {
+			continue
+		}
+		if !any {
+			fmt.Fprintf(w, "\n%-26s %14s\n", "counter", "total")
+			any = true
+		}
+		fmt.Fprintf(w, "%-26s %14d\n", c, s.Counters[c])
+	}
+	any = false
+	for g := Gauge(0); g < NumGauges; g++ {
+		if s.Gauges[g] == 0 {
+			continue
+		}
+		if !any {
+			fmt.Fprintf(w, "\n%-26s %14s\n", "gauge", "max")
+			any = true
+		}
+		fmt.Fprintf(w, "%-26s %14d\n", g, s.Gauges[g])
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one JSONL trace line. Timestamps are monotonic nanosecond
+// offsets from the writer's creation, so traces are self-contained and
+// replayable without wall-clock parsing.
+type Record struct {
+	// T is the event's offset in nanoseconds since the trace started
+	// (monotonic clock).
+	T int64 `json:"t"`
+	// Kind is one of "span_start", "span_end", "count", "gauge".
+	Kind string `json:"kind"`
+	// Run scopes the event to a named run (e.g. a serbench circuit);
+	// empty for single-run traces.
+	Run string `json:"run,omitempty"`
+	// Phase is the span's phase name (span events).
+	Phase string `json:"phase,omitempty"`
+	// Counter is the counter name (count events).
+	Counter string `json:"counter,omitempty"`
+	// Gauge is the gauge name (gauge events).
+	Gauge string `json:"gauge,omitempty"`
+	// Value is the count delta or gauge sample.
+	Value int64 `json:"value,omitempty"`
+	// Err is the span's error text (failed span_end events).
+	Err string `json:"err,omitempty"`
+}
+
+// Record kinds.
+const (
+	KindSpanStart = "span_start"
+	KindSpanEnd   = "span_end"
+	KindCount     = "count"
+	KindGauge     = "gauge"
+)
+
+// JSONLWriter streams telemetry events as JSON lines. It is safe for
+// concurrent use (one encoder guarded by a mutex); events from parallel
+// runs interleave but carry their run label. The zero-allocation budget
+// of the Nop path does not apply here — a streaming trace trades
+// allocation for visibility and is opt-in (serbench -trace).
+type JSONLWriter struct {
+	start time.Time
+
+	mu  sync.Mutex
+	buf *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w (typically a file). Call Flush before closing
+// the underlying writer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{start: time.Now(), buf: bufio.NewWriter(w)}
+}
+
+// Flush drains buffered lines and returns the first write error
+// encountered over the writer's lifetime.
+func (w *JSONLWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ferr := w.buf.Flush(); w.err == nil {
+		w.err = ferr
+	}
+	return w.err
+}
+
+func (w *JSONLWriter) emit(rec Record) {
+	line, merr := json.Marshal(rec)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if merr != nil {
+		w.err = merr
+		return
+	}
+	if _, werr := w.buf.Write(append(line, '\n')); werr != nil {
+		w.err = werr
+	}
+}
+
+func (w *JSONLWriter) record(run string, p Phase, kind string, c Counter, g Gauge, v int64, err error) {
+	rec := Record{T: int64(time.Since(w.start)), Kind: kind, Run: run, Value: v}
+	switch kind {
+	case KindSpanStart, KindSpanEnd:
+		rec.Phase = p.String()
+		if err != nil {
+			rec.Err = err.Error()
+		}
+	case KindCount:
+		rec.Counter = c.String()
+	case KindGauge:
+		rec.Gauge = g.String()
+	}
+	w.emit(rec)
+}
+
+// SpanStart implements Recorder (unscoped run).
+func (w *JSONLWriter) SpanStart(p Phase) { w.record("", p, KindSpanStart, 0, 0, 0, nil) }
+
+// SpanEnd implements Recorder (unscoped run).
+func (w *JSONLWriter) SpanEnd(p Phase, err error) { w.record("", p, KindSpanEnd, 0, 0, 0, err) }
+
+// Count implements Recorder (unscoped run).
+func (w *JSONLWriter) Count(c Counter, n int64) { w.record("", 0, KindCount, c, 0, n, nil) }
+
+// Gauge implements Recorder (unscoped run).
+func (w *JSONLWriter) Gauge(g Gauge, v int64) { w.record("", 0, KindGauge, 0, g, v, nil) }
+
+// Run returns a Recorder view that stamps every event with the run name,
+// sharing this writer's stream and clock. Use one view per concurrent
+// run so a multi-circuit sweep produces one trace file that Replay can
+// split back apart.
+func (w *JSONLWriter) Run(name string) Recorder { return &runView{w: w, run: name} }
+
+type runView struct {
+	w   *JSONLWriter
+	run string
+}
+
+func (v *runView) SpanStart(p Phase)          { v.w.record(v.run, p, KindSpanStart, 0, 0, 0, nil) }
+func (v *runView) SpanEnd(p Phase, err error) { v.w.record(v.run, p, KindSpanEnd, 0, 0, 0, err) }
+func (v *runView) Count(c Counter, n int64)   { v.w.record(v.run, 0, KindCount, c, 0, n, nil) }
+func (v *runView) Gauge(g Gauge, val int64)   { v.w.record(v.run, 0, KindGauge, 0, g, val, nil) }
+
+// ReadJSONL parses a JSONL trace back into records. Blank lines are
+// skipped; a malformed line fails with its 1-based line number.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// Replay aggregates trace records into one RunStats per run label,
+// reconstructing per-phase durations by LIFO span matching — the exact
+// computation a live Collector performs, so a JSONL round trip and an
+// in-memory collection of the same run agree. Wall is the first-to-last
+// event distance within each run. Events with unknown phase/counter/gauge
+// names (from a newer writer) are skipped.
+func Replay(recs []Record) map[string]*RunStats {
+	type runAgg struct {
+		stats      *RunStats
+		open       [NumPhases][]int64
+		minT, maxT int64
+		any        bool
+	}
+	runs := map[string]*runAgg{}
+	get := func(name string) *runAgg {
+		a, ok := runs[name]
+		if !ok {
+			a = &runAgg{stats: &RunStats{}}
+			runs[name] = a
+		}
+		return a
+	}
+	for _, rec := range recs {
+		a := get(rec.Run)
+		if !a.any || rec.T < a.minT {
+			a.minT = rec.T
+		}
+		if !a.any || rec.T > a.maxT {
+			a.maxT = rec.T
+		}
+		a.any = true
+		switch rec.Kind {
+		case KindSpanStart:
+			if p, ok := ParsePhase(rec.Phase); ok {
+				a.open[p] = append(a.open[p], rec.T)
+			}
+		case KindSpanEnd:
+			p, ok := ParsePhase(rec.Phase)
+			if !ok {
+				continue
+			}
+			if n := len(a.open[p]); n > 0 {
+				ps := &a.stats.Phases[p]
+				ps.Total += time.Duration(rec.T - a.open[p][n-1])
+				a.open[p] = a.open[p][:n-1]
+				ps.Count++
+				if rec.Err != "" {
+					ps.Errs++
+				}
+			}
+		case KindCount:
+			if c, ok := ParseCounter(rec.Counter); ok {
+				a.stats.Counters[c] += rec.Value
+			}
+		case KindGauge:
+			if g, ok := ParseGauge(rec.Gauge); ok && rec.Value > a.stats.Gauges[g] {
+				a.stats.Gauges[g] = rec.Value
+			}
+		}
+	}
+	out := make(map[string]*RunStats, len(runs))
+	for name, a := range runs {
+		a.stats.Wall = time.Duration(a.maxT - a.minT)
+		out[name] = a.stats
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEnumNamesRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, ok := ParsePhase(p.String())
+		if !ok || got != p {
+			t.Errorf("ParsePhase(%q) = %v, %v", p.String(), got, ok)
+		}
+		if strings.Contains(p.String(), "Phase(") {
+			t.Errorf("phase %d has no name", p)
+		}
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		got, ok := ParseCounter(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCounter(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		got, ok := ParseGauge(g.String())
+		if !ok || got != g {
+			t.Errorf("ParseGauge(%q) = %v, %v", g.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePhase("no-such-phase"); ok {
+		t.Error("ParsePhase accepted an unknown name")
+	}
+}
+
+// TestCollectorConcurrent hammers one Collector from many goroutines; run
+// under -race it proves the counter/gauge/span paths are safe for the
+// parallel sweeps serbench runs.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Count(CounterSteps, 1)
+				c.Gauge(GaugePeakRetimingSpan, int64(i))
+				c.SpanStart(PhaseMinimize)
+				c.SpanEnd(PhaseMinimize, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if got := s.Counter(CounterSteps); got != workers*perWorker {
+		t.Errorf("steps = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauge(GaugePeakRetimingSpan); got != perWorker-1 {
+		t.Errorf("gauge max = %d, want %d", got, perWorker-1)
+	}
+	if got := s.Phases[PhaseMinimize].Count; got != workers*perWorker {
+		t.Errorf("minimize spans = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCollectorSpans(t *testing.T) {
+	c := NewCollector()
+	c.SpanStart(PhaseInit)
+	time.Sleep(time.Millisecond)
+	c.SpanEnd(PhaseInit, nil)
+	c.SpanStart(PhaseMinimize)
+	c.SpanEnd(PhaseMinimize, errors.New("boom"))
+	c.SpanEnd(PhaseGains, nil) // unmatched: ignored
+	s := c.Stats()
+	if !s.Observed(PhaseInit) || s.Phases[PhaseInit].Total <= 0 {
+		t.Errorf("init span not recorded: %+v", s.Phases[PhaseInit])
+	}
+	if s.Phases[PhaseMinimize].Errs != 1 {
+		t.Errorf("minimize errs = %d, want 1", s.Phases[PhaseMinimize].Errs)
+	}
+	if s.Observed(PhaseGains) {
+		t.Error("unmatched SpanEnd produced a span")
+	}
+	if s.Wall <= 0 {
+		t.Error("wall-clock not tracked")
+	}
+}
+
+// TestJSONLRoundTrip writes a synthetic run through JSONLWriter, reads it
+// back, and checks Replay reconstructs the same aggregates the seranalyze
+// -trace report path consumes.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	run := w.Run("s27")
+	run.SpanStart(PhaseSynthesize)
+	run.SpanEnd(PhaseSynthesize, nil)
+	run.SpanStart(PhaseTierMinObsWin)
+	run.SpanStart(PhaseMinimize)
+	run.Count(CounterSteps, 3)
+	run.Count(CounterSteps, 2)
+	run.Gauge(GaugePeakRetimingSpan, 4)
+	run.Gauge(GaugePeakRetimingSpan, 2) // below max: ignored by Replay
+	run.SpanEnd(PhaseMinimize, nil)
+	run.SpanEnd(PhaseTierMinObsWin, errors.New("stalled"))
+	other := w.Run("s386")
+	other.Count(CounterCommits, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	recs, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	runs := Replay(recs)
+	if len(runs) != 2 {
+		t.Fatalf("Replay found %d runs, want 2", len(runs))
+	}
+	s := runs["s27"]
+	if s == nil {
+		t.Fatal("run s27 missing")
+	}
+	if got := s.Counter(CounterSteps); got != 5 {
+		t.Errorf("steps = %d, want 5", got)
+	}
+	if got := s.Gauge(GaugePeakRetimingSpan); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	if s.Phases[PhaseTierMinObsWin].Errs != 1 {
+		t.Errorf("tier errs = %d, want 1", s.Phases[PhaseTierMinObsWin].Errs)
+	}
+	if s.Phases[PhaseMinimize].Count != 1 || s.Phases[PhaseMinimize].Total < 0 {
+		t.Errorf("minimize span not reconstructed: %+v", s.Phases[PhaseMinimize])
+	}
+	if runs["s386"].Counter(CounterCommits) != 1 {
+		t.Errorf("run s386 commits = %d, want 1", runs["s386"].Counter(CounterCommits))
+	}
+
+	var report strings.Builder
+	if err := s.WriteReport(&report, "s27"); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	for _, want := range []string{"== run s27 ==", "tier:minobswin", "minimize", "steps", "peak-retiming-span"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not carry the line number: %v", err)
+	}
+	recs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Errorf("blank-only input: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestTeeAndOrNop(t *testing.T) {
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	if Tee() != Nop || Tee(nil, nil) != Nop {
+		t.Error("empty Tee != Nop")
+	}
+	c := NewCollector()
+	if Tee(nil, c) != Recorder(c) {
+		t.Error("single-recorder Tee did not collapse")
+	}
+	c2 := NewCollector()
+	both := Tee(c, c2)
+	both.Count(CounterCommits, 2)
+	if c.Stats().Counter(CounterCommits) != 2 || c2.Stats().Counter(CounterCommits) != 2 {
+		t.Error("Tee did not fan out")
+	}
+}
+
+// TestNopZeroAllocs pins the overhead budget: recording against the no-op
+// recorder must not allocate, so always-on instrumentation is free when no
+// recorder is configured.
+func TestNopZeroAllocs(t *testing.T) {
+	rec := OrNop(nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		rec.SpanStart(PhaseMinimize)
+		rec.Count(CounterSteps, 1)
+		rec.Gauge(GaugePeakRetimingSpan, 7)
+		rec.SpanEnd(PhaseMinimize, nil)
+	}); n != 0 {
+		t.Errorf("Nop recorder allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestCollectorCountZeroAllocs keeps the live counter hot path
+// allocation-free too (atomics only).
+func TestCollectorCountZeroAllocs(t *testing.T) {
+	c := NewCollector()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Count(CounterSteps, 1)
+		c.Gauge(GaugePeakRetimingSpan, 3)
+	}); n != 0 {
+		t.Errorf("Collector counters allocate %.1f allocs/op, want 0", n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"serretime/internal/graph"
 	"serretime/internal/guard"
 	"serretime/internal/retime"
+	"serretime/internal/telemetry"
 	"serretime/internal/verify"
 )
 
@@ -98,6 +99,12 @@ type RetimeOptions struct {
 	// budget between degradation tiers; tests use it to wedge the budget
 	// (an absurdly large bound makes every P2' constraint infeasible).
 	RminOverride float64
+	// Recorder receives the run's telemetry: phase spans (obs-analysis,
+	// init, gains, minimize, verify, rebuild, analysis and the optimizer's
+	// inner phases), counters, and gauges. nil records nothing; the no-op
+	// recorder costs nothing on the hot path. Use a telemetry.Collector for
+	// in-memory RunStats or a telemetry.JSONLWriter for a streaming trace.
+	Recorder telemetry.Recorder
 }
 
 // RetimeResult reports a full retiming run.
@@ -168,11 +175,18 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 	if opt.Th == 0 {
 		opt.Th = DefaultTh
 	}
-	if err := d.ensureObs(opt.Analysis); err != nil {
+	rec := telemetry.OrNop(opt.Recorder)
+
+	rec.SpanStart(telemetry.PhaseObs)
+	err := d.ensureObs(opt.Analysis)
+	rec.SpanEnd(telemetry.PhaseObs, err)
+	if err != nil {
 		return nil, err
 	}
 
-	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon})
+	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{
+		Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon, Recorder: opt.Recorder,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +195,7 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		return nil, err
 	}
 
+	rec.SpanStart(telemetry.PhaseGains)
 	k := opt.KUnits
 	if k == 0 {
 		k = 64 * opt.Analysis.normalized().SignatureWords
@@ -197,11 +212,13 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 	}
 	gains, obsInt, err := gainsFn(base, gateObs, edgeObs, k)
 	if err != nil {
+		rec.SpanEnd(telemetry.PhaseGains, err)
 		return nil, err
 	}
 	if opt.AreaWeight != 0 && opt.Algorithm != MinArea {
 		areaGains, _, err := core.Gains(base, ones(len(gateObs)), ones(len(edgeObs)), k)
 		if err != nil {
+			rec.SpanEnd(telemetry.PhaseGains, err)
 			return nil, err
 		}
 		lambda := opt.AreaWeight
@@ -209,12 +226,14 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 			gains[v] += int64(lambda * float64(areaGains[v]))
 		}
 	}
+	rec.SpanEnd(telemetry.PhaseGains, nil)
 
 	copt := core.Options{
 		Phi: init.Phi, Ts: opt.Ts, Th: opt.Th, Rmin: init.Rmin,
 		ELWConstraints:  opt.Algorithm == MinObsWin,
 		SingleViolation: opt.SingleViolation,
 		StallSteps:      opt.StallSteps,
+		Recorder:        opt.Recorder,
 	}
 	if opt.RminOverride != 0 {
 		copt.Rmin = opt.RminOverride
@@ -223,37 +242,48 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		copt.Engine = core.EngineForest
 	}
 	start := time.Now()
+	rec.SpanStart(telemetry.PhaseMinimize)
 	cres, err := core.MinimizeCtx(ctx, base, gains, obsInt, copt)
+	rec.SpanEnd(telemetry.PhaseMinimize, err)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
 	if opt.Verify {
-		if err := d.verifyMove(init.R, cres.R); err != nil {
+		rec.SpanStart(telemetry.PhaseVerify)
+		err := d.verifyMove(init.R, cres.R)
+		rec.SpanEnd(telemetry.PhaseVerify, err)
+		if err != nil {
 			return nil, err
 		}
 	}
 
 	// Total retiming relative to the original circuit.
+	rec.SpanStart(telemetry.PhaseRebuild)
 	total := init.R.Clone()
 	for v := range total {
 		total[v] += cres.R[v]
 	}
 	rb, err := graph.Rebuild(d.c, d.g, total)
 	if err != nil {
+		rec.SpanEnd(telemetry.PhaseRebuild, err)
 		return nil, err
 	}
 	retimed, err := newDesign(rb.C)
+	rec.SpanEnd(telemetry.PhaseRebuild, err)
 	if err != nil {
 		return nil, err
 	}
 
+	rec.SpanStart(telemetry.PhaseAnalysis)
 	before, err := d.analyzeAt(d.g, graph.NewRetiming(d.g), init.Phi, opt.Analysis)
 	if err != nil {
+		rec.SpanEnd(telemetry.PhaseAnalysis, err)
 		return nil, err
 	}
 	after, err := d.analyzeAt(d.g, total, init.Phi, opt.Analysis)
+	rec.SpanEnd(telemetry.PhaseAnalysis, err)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"serretime/internal/graph"
 	"serretime/internal/guard"
+	"serretime/internal/telemetry"
 )
 
 // Tier identifies which rung of the graceful-degradation ladder produced
@@ -43,6 +44,22 @@ func (t Tier) String() string {
 		return "identity"
 	}
 	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// tierPhase maps a degradation rung to its telemetry phase, so each
+// attempt of the chain appears as one top-level span with the guard error
+// that ended it attached.
+func tierPhase(t Tier) telemetry.Phase {
+	switch t {
+	case TierMinObsWin:
+		return telemetry.PhaseTierMinObsWin
+	case TierMinObsWinRelaxed:
+		return telemetry.PhaseTierMinObsWinRelaxed
+	case TierMinObs:
+		return telemetry.PhaseTierMinObs
+	default:
+		return telemetry.PhaseTierIdentity
+	}
 }
 
 // RobustOptions configures RetimeRobust.
@@ -128,6 +145,7 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 		chain = []rung{{TierMinObs, opt.RetimeOptions}}
 	}
 
+	rec := telemetry.OrNop(opt.RetimeOptions.Recorder)
 	out := &RobustResult{}
 	attempt := func(tier Tier, fn func(context.Context) (*RetimeResult, error)) (*RetimeResult, error) {
 		actx := ctx
@@ -137,14 +155,22 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 		}
 		defer cancel()
 		start := time.Now()
+		rec.SpanStart(tierPhase(tier))
 		res, err := fn(actx)
+		rec.SpanEnd(tierPhase(tier), err)
 		out.Attempts = append(out.Attempts, Attempt{Tier: tier, Err: err, Runtime: time.Since(start)})
 		return res, err
 	}
 
 	var lastErr error
-	for _, r := range chain {
+	for i, r := range chain {
 		for try := 0; try <= opt.Retries; try++ {
+			if try > 0 {
+				rec.Count(telemetry.CounterRetries, 1)
+			}
+			if i > 0 && try == 0 {
+				rec.Count(telemetry.CounterTierTransitions, 1)
+			}
 			res, err := attempt(r.tier, func(actx context.Context) (*RetimeResult, error) {
 				return d.RetimeCtx(actx, r.opts)
 			})
@@ -168,6 +194,9 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 	}
 
 	// Identity tier: no optimization, analyze the circuit as-is.
+	if len(chain) > 0 {
+		rec.Count(telemetry.CounterTierTransitions, 1)
+	}
 	res, err := attempt(TierIdentity, func(actx context.Context) (*RetimeResult, error) {
 		return d.identityResult(actx, opt.RetimeOptions)
 	})
