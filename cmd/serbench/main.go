@@ -20,19 +20,26 @@
 // Observability: -trace streams every solver phase span and counter as
 // JSONL (one run label per circuit; read back with seranalyze -trace),
 // -metrics adds a per-row phase-breakdown column from an in-memory
-// collector, and -cpuprofile/-memprofile write standard runtime/pprof
-// profiles of the sweep.
+// collector — including the optimizer's incremental-hit ratio inc=P/T
+// (P label patches out of T label updates; T−P were full recomputes) —
+// and -cpuprofile/-memprofile write standard runtime/pprof profiles of
+// the sweep. -checklabels cross-checks every incremental label patch
+// against the full elw.ComputeLabels oracle; a divergence fails the row
+// (and the sweep exits non-zero) even when the degradation chain found a
+// weaker-tier answer, because a mismatch proves a solver-state bug.
 //
 // Usage:
 //
 //	serbench [-scale auto|N] [-circuits name,name,...] [-in files] [-parallel N]
 //	         [-frames N] [-words N] [-engine closure|forest] [-verify]
 //	         [-timeout D] [-retries N] [-stallsteps N] [-faultinject names]
-//	         [-trace out.jsonl] [-metrics] [-cpuprofile f] [-memprofile f]
+//	         [-trace out.jsonl] [-metrics] [-checklabels]
+//	         [-cpuprofile f] [-memprofile f]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +55,7 @@ import (
 	"serretime"
 	"serretime/internal/gen"
 	"serretime/internal/guard"
+	"serretime/internal/solverstate"
 	"serretime/internal/telemetry"
 )
 
@@ -94,6 +102,7 @@ type config struct {
 	faultInject string
 	tracePath   string
 	metrics     bool
+	checkLabels bool
 	cpuProfile  string
 	memProfile  string
 }
@@ -131,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.faultInject, "faultinject", "", "comma-separated circuit names whose runs are fault-injected (testing)")
 	fs.StringVar(&cfg.tracePath, "trace", "", "write a JSONL telemetry trace of every run (read with seranalyze -trace)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "collect per-circuit phase metrics and add a phase-breakdown column")
+	fs.BoolVar(&cfg.checkLabels, "checklabels", false, "cross-check every incremental label patch against the full-recompute oracle; mismatches fail the row")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the sweep")
 	if err := fs.Parse(args); err != nil {
@@ -267,7 +277,16 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 	rec := telemetry.Tee(recs...)
 	defer func() {
 		if col != nil {
-			r.phases = col.Stats().PhaseBreakdown(3)
+			s := col.Stats()
+			r.phases = s.PhaseBreakdown(3)
+			// Incremental-hit ratio of the solver state: patched label
+			// updates out of all label updates (the rest were full
+			// recomputes — seed misses and fallbacks).
+			patched := s.Counter(telemetry.CounterLabelPatches)
+			total := patched + s.Counter(telemetry.CounterLabelFulls)
+			if total > 0 {
+				r.phases += fmt.Sprintf(" inc=%d/%d", patched, total)
+			}
 		}
 	}()
 
@@ -290,12 +309,13 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 	}
 	ropt := serretime.RobustOptions{
 		RetimeOptions: serretime.RetimeOptions{
-			Algorithm:  serretime.MinObs,
-			Analysis:   serretime.AnalysisOptions{Frames: cfg.frames, SignatureWords: cfg.words},
-			Engine:     eng,
-			Verify:     cfg.verify,
-			StallSteps: cfg.stallSteps,
-			Recorder:   rec,
+			Algorithm:   serretime.MinObs,
+			Analysis:    serretime.AnalysisOptions{Frames: cfg.frames, SignatureWords: cfg.words},
+			Engine:      eng,
+			Verify:      cfg.verify,
+			StallSteps:  cfg.stallSteps,
+			CheckLabels: cfg.checkLabels,
+			Recorder:    rec,
 		},
 		Timeout: cfg.timeout,
 		Retries: cfg.retries,
@@ -304,6 +324,10 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 	refRes, err := d.RetimeRobust(ctx, ropt)
 	r.refTime = time.Since(start)
 	if err != nil {
+		r.err = err
+		return r
+	}
+	if err := labelMismatch(refRes.Attempts); err != nil {
 		r.err = err
 		return r
 	}
@@ -318,6 +342,10 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 		r.err = err
 		return r
 	}
+	if err := labelMismatch(winRes.Attempts); err != nil {
+		r.err = err
+		return r
+	}
 	r.win, r.winTier = winRes.RetimeResult, winRes.Tier
 	r.degraded = r.degraded || winRes.Degraded
 
@@ -325,6 +353,18 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 	r.shOK = r.win.SetupHoldOK
 	r.serOrig = r.win.Before.SER
 	return r
+}
+
+// labelMismatch surfaces an oracle cross-check failure buried in the
+// degradation chain: a mismatch proves a solver-state bug, so the row
+// must fail loudly even when a weaker tier produced an answer.
+func labelMismatch(attempts []serretime.Attempt) error {
+	for _, a := range attempts {
+		if a.Err != nil && errors.Is(a.Err, solverstate.ErrLabelMismatch) {
+			return a.Err
+		}
+	}
+	return nil
 }
 
 // synthesize produces the row's design: a scaled Table I synthetic, or a

@@ -22,6 +22,7 @@ import (
 
 	"serretime/internal/elw"
 	"serretime/internal/guard"
+	"serretime/internal/solverstate"
 	"serretime/internal/telemetry"
 
 	"serretime/internal/graph"
@@ -102,6 +103,23 @@ type Options struct {
 	// far. 0 disables the watchdog (the MaxSteps cap still bounds the
 	// run).
 	StallSteps int
+	// SeedLabels primes the solver state with the L/R labels of the
+	// starting retiming (the Section V initialization computes exactly
+	// these when selecting Rmin), letting the first tentative move patch
+	// instead of paying a full recompute. Must equal elw.ComputeLabels of
+	// g at the zero retiming; nil bootstraps with one full computation.
+	SeedLabels *elw.Labels
+	// CheckLabels cross-checks every incremental label patch against the
+	// elw.ComputeLabels oracle and aborts with an error unwrapping to
+	// solverstate.ErrLabelMismatch (and guard.ErrInternal) on divergence.
+	// Debug mode: roughly restores the recompute-per-move cost.
+	CheckLabels bool
+	// FullLabelRecompute disables dirty-region label patching, restoring
+	// the pre-incremental recompute-per-move behavior (ablation).
+	FullLabelRecompute bool
+	// DirtyThreshold overrides the dirty-region fallback threshold
+	// (fraction of the gate count; 0 = solverstate's default).
+	DirtyThreshold float64
 	// Recorder receives the run's telemetry: phase spans (positive-set,
 	// find-violations, elw-recompute, repair), move/violation counters,
 	// and the peak retiming span gauge. nil records nothing (the no-op
@@ -272,7 +290,24 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		R:          graph.NewRetiming(g),
 		Violations: map[Kind]int{},
 	}
-	res.Initial = Objective(g, res.R, obsInt)
+	// The transactional state owns the retiming vector, the retimed edge
+	// weights, the L/R labels and the objective; tentative moves are
+	// applied with Begin and then either committed or rolled back. It
+	// replaces the recompute-per-move pattern: labels are patched over
+	// the dirty region instead of rebuilt per tentative.
+	st, err := solverstate.New(g, res.R, solverstate.Config{
+		Params:         params,
+		ObsInt:         obsInt,
+		SeedLabels:     opt.SeedLabels,
+		CheckLabels:    opt.CheckLabels,
+		FullRecompute:  opt.FullLabelRecompute,
+		DirtyThreshold: opt.DirtyThreshold,
+		Recorder:       opt.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Initial = st.Objective()
 
 	newEngine := func() (engine, error) {
 		var e engine
@@ -300,7 +335,6 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 	wd := guard.NewWatchdog("core.Minimize", opt.StallSteps)
 	committedObj := res.Initial
 
-	rTent := graph.NewRetiming(g)
 	maskSnap := make([]bool, g.NumVertices())
 	needExact := true
 	// curPhase tracks the last inner-loop activity so a timeout or stall
@@ -309,7 +343,7 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 	curPhase := telemetry.PhaseMinimize.String()
 	for res.Steps = 0; res.Steps < maxSteps; res.Steps++ {
 		if cerr := guard.CheckpointIn(ctx, "core.Minimize", curPhase); cerr != nil {
-			res.Objective = Objective(g, res.R, obsInt)
+			res.Objective = st.CommittedObjective()
 			return res, cerr
 		}
 		wd.Phase = curPhase
@@ -319,7 +353,7 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 			rec.Count(telemetry.CounterWatchdogResets, int64(d))
 		}
 		if serr != nil {
-			res.Objective = Objective(g, res.R, obsInt)
+			res.Objective = st.CommittedObjective()
 			return res, serr
 		}
 		rec.Count(telemetry.CounterSteps, 1)
@@ -352,41 +386,42 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		// Tentative move. The mask is snapshotted: repairs may extend the
 		// engine's cached set mid-batch, but the bookkeeping must reflect
 		// what actually moved in THIS tentative.
-		copy(rTent, res.R)
 		copy(maskSnap, mask)
-		for _, v := range members {
-			rTent[v] -= eng.Weight(v)
-		}
+		st.Begin(members, eng.Weight)
 		limit := 0
 		if opt.SingleViolation {
 			limit = 1
 		}
 		rec.SpanStart(telemetry.PhaseFindViolations)
-		viols, err := findViolations(g, rTent, maskSnap, params, opt, order, limit, rec)
+		viols, err := findViolations(g, st, maskSnap, params, opt, order, limit)
 		rec.SpanEnd(telemetry.PhaseFindViolations, err)
 		curPhase = telemetry.PhaseFindViolations.String()
 		if err != nil {
+			st.Rollback()
 			return nil, err
 		}
 		if len(viols) == 0 {
 			if !exact {
 				// Clean, but the set may not be maximal: recompute the
 				// exact closure before committing.
+				st.Rollback()
 				needExact = true
 				continue
 			}
 			// Commit and start a fresh round.
-			copy(res.R, rTent)
+			st.Commit()
+			copy(res.R, st.R())
 			res.Rounds++
 			rec.Count(telemetry.CounterCommits, 1)
 			rec.Gauge(telemetry.GaugePeakRetimingSpan, peakSpan(res.R))
-			committedObj = Objective(g, res.R, obsInt)
+			committedObj = st.CommittedObjective()
 			if eng, err = newEngine(); err != nil {
 				return nil, err
 			}
 			needExact = true
 			continue
 		}
+		st.Rollback()
 		rec.SpanStart(telemetry.PhaseRepair)
 		for _, v := range viols {
 			res.Violations[v.kind]++
@@ -400,11 +435,11 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 		curPhase = telemetry.PhaseRepair.String()
 	}
 	if res.Steps >= maxSteps {
-		res.Objective = Objective(g, res.R, obsInt)
+		res.Objective = st.CommittedObjective()
 		return res, fmt.Errorf("core: step cap %d exceeded (possible oscillation): %w",
 			maxSteps, &guard.StallError{Op: "core.Minimize", Phase: curPhase, Steps: maxSteps, Objective: committedObj})
 	}
-	res.Objective = Objective(g, res.R, obsInt)
+	res.Objective = st.CommittedObjective()
 	if err := g.CheckLegal(res.R); err != nil {
 		return nil, fmt.Errorf("core: result illegal: %w", err)
 	}
@@ -442,21 +477,19 @@ func repair(eng engine, v *violation, inI []bool) error {
 	return nil
 }
 
-// findViolations checks the tentative retiming in the configured order
-// and returns violations, at most one per target vertex q (repairs to the
+// findViolations checks the tentative state in the configured order and
+// returns violations, at most one per target vertex q (repairs to the
 // same vertex must be observed sequentially — see Figure 3's weight
 // updates). limit > 0 caps the count (1 reproduces Algorithm 1 verbatim);
 // an empty result means the move is clean.
-func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Params, opt Options, order []Kind, limit int, rec telemetry.Recorder) ([]*violation, error) {
-	var lab *elw.Labels
-	labels := func() (*elw.Labels, error) {
-		if lab != nil {
-			return lab, nil
-		}
-		var err error
-		lab, err = elw.ComputeLabelsRec(g, rt, params, rec)
-		return lab, err
-	}
+//
+// The labels come from the transaction itself (st.Labels), so every
+// check kind of one pass observes labels consistent with the same edge
+// weights by construction — the previous lazy recompute-per-pass closure
+// could in principle be read against weights repaired since it was
+// filled; owning both in one transaction closes that hazard.
+func findViolations(g *graph.Graph, st *solverstate.State, inI []bool, params elw.Params, opt Options, order []Kind, limit int) ([]*violation, error) {
+	wr := st.EdgeWeights()
 	var out []*violation
 	seenQ := make(map[graph.VertexID]bool)
 	add := func(v *violation) bool {
@@ -476,20 +509,21 @@ func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Pa
 		}
 		switch k {
 		case KindP0:
-			for e := 0; e < g.NumEdges(); e++ {
-				eid := graph.EdgeID(e)
-				if w := g.WR(eid, rt); w < 0 {
-					ed := g.Edge(eid)
-					if !inI[ed.To] {
-						return nil, fmt.Errorf("core: P0 violation on edge %d without mover", e)
-					}
-					if add(&violation{kind: KindP0, p: ed.To, q: ed.From, w: -w}) {
-						return out, nil
-					}
+			// Negatives can only sit on edges the open move changed (the
+			// committed state is legal); the state reports them sorted by
+			// EdgeID — the same sequence a full ascending scan finds.
+			for _, eid := range st.NegativeTentativeEdges() {
+				w := wr[eid]
+				ed := g.Edge(eid)
+				if !inI[ed.To] {
+					return nil, fmt.Errorf("core: P0 violation on edge %d without mover", eid)
+				}
+				if add(&violation{kind: KindP0, p: ed.To, q: ed.From, w: -w}) {
+					return out, nil
 				}
 			}
 		case KindP1:
-			lb, err := labels()
+			lb, err := st.Labels()
 			if err != nil {
 				return nil, err
 			}
@@ -511,14 +545,14 @@ func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Pa
 			if !opt.ELWConstraints {
 				continue
 			}
-			lb, err := labels()
+			lb, err := st.Labels()
 			if err != nil {
 				return nil, err
 			}
 			for e := 0; e < g.NumEdges(); e++ {
 				eid := graph.EdgeID(e)
 				ed := g.Edge(eid)
-				if ed.To == graph.Host || g.WR(eid, rt) <= 0 || !lb.HasWindow[ed.To] {
+				if ed.To == graph.Host || wr[eid] <= 0 || !lb.HasWindow[ed.To] {
 					continue
 				}
 				if lb.HoldSlack(g, params, eid) >= opt.Rmin-eps {
@@ -531,7 +565,7 @@ func findViolations(g *graph.Graph, rt graph.Retiming, inI []bool, params elw.Pa
 				// (the paper's Figure 2(c)), or z itself when its own move
 				// created the pinning register.
 				z := lb.RT[ed.To]
-				q, w, err := drainTarget(g, rt, z)
+				q, w, err := drainTarget(g, wr, z)
 				if err != nil {
 					return nil, err
 				}
@@ -576,7 +610,7 @@ func peakSpan(r graph.Retiming) int64 {
 // drainTarget picks the fanout edge of z that pins its R label and returns
 // the vertex that must absorb its registers (the host if the pin is a
 // primary output, which freezes the tree — the paper's b18 behavior).
-func drainTarget(g *graph.Graph, rt graph.Retiming, z graph.VertexID) (graph.VertexID, int32, error) {
+func drainTarget(g *graph.Graph, wr []int32, z graph.VertexID) (graph.VertexID, int32, error) {
 	var hostPin bool
 	for _, eid := range g.Out(z) {
 		e := g.Edge(eid)
@@ -584,7 +618,7 @@ func drainTarget(g *graph.Graph, rt graph.Retiming, z graph.VertexID) (graph.Ver
 			hostPin = true
 			continue
 		}
-		if w := g.WR(eid, rt); w > 0 {
+		if w := wr[eid]; w > 0 {
 			return e.To, w, nil
 		}
 	}

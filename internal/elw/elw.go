@@ -171,7 +171,17 @@ func computeLabels(g *graph.Graph, r graph.Retiming, p Params) (*Labels, error) 
 	if err != nil {
 		return nil, err
 	}
-	n := g.NumVertices()
+	lab := NewLabels(g.NumVertices())
+	wr := g.EdgeWeights(r)
+	for i := len(order) - 1; i >= 0; i-- {
+		lab.RelabelVertex(g, p, wr, order[i])
+	}
+	return lab, nil
+}
+
+// NewLabels returns empty labels for n vertices: no window, L = +Inf,
+// R = -Inf, endpoints at the host. RelabelVertex fills one vertex.
+func NewLabels(n int) *Labels {
 	lab := &Labels{
 		L:         make([]float64, n),
 		R:         make([]float64, n),
@@ -185,38 +195,84 @@ func computeLabels(g *graph.Graph, r graph.Retiming, p Params) (*Labels, error) 
 		lab.LT[i] = graph.Host
 		lab.RT[i] = graph.Host
 	}
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		for _, eid := range g.Out(u) {
-			e := g.Edge(eid)
-			if e.To == graph.Host || g.WR(eid, r) > 0 {
-				if l := p.Phi - p.Ts; l < lab.L[u] {
-					lab.L[u] = l
-					lab.LT[u] = u
-				}
-				if rr := p.Phi + p.Th; rr > lab.R[u] {
-					lab.R[u] = rr
-					lab.RT[u] = u
-				}
-				lab.HasWindow[u] = true
-				continue
-			}
-			v := e.To
-			if !lab.HasWindow[v] {
-				continue
-			}
-			if l := lab.L[v] - g.Delay(v); l < lab.L[u] {
+	return lab
+}
+
+// RelabelVertex recomputes eq. (6) at u in place, reading the retimed
+// weight of each out-edge from wr (indexed by EdgeID). Successors of u
+// across zero-weight edges must already hold their final labels.
+//
+// This is the shared per-vertex kernel of the full recompute and the
+// dirty-region patcher of internal/solverstate: both paths execute the
+// same float operations in the same order, so incrementally patched
+// labels are bit-identical to a recompute, ties in LT/RT included.
+func (lab *Labels) RelabelVertex(g *graph.Graph, p Params, wr []int32, u graph.VertexID) {
+	lab.L[u] = math.Inf(1)
+	lab.R[u] = math.Inf(-1)
+	lab.LT[u] = graph.Host
+	lab.RT[u] = graph.Host
+	lab.HasWindow[u] = false
+	for _, eid := range g.Out(u) {
+		e := g.Edge(eid)
+		if e.To == graph.Host || wr[eid] > 0 {
+			if l := p.Phi - p.Ts; l < lab.L[u] {
 				lab.L[u] = l
-				lab.LT[u] = lab.LT[v]
+				lab.LT[u] = u
 			}
-			if rr := lab.R[v] - g.Delay(v); rr > lab.R[u] {
+			if rr := p.Phi + p.Th; rr > lab.R[u] {
 				lab.R[u] = rr
-				lab.RT[u] = lab.RT[v]
+				lab.RT[u] = u
 			}
 			lab.HasWindow[u] = true
+			continue
+		}
+		v := e.To
+		if !lab.HasWindow[v] {
+			continue
+		}
+		if l := lab.L[v] - g.Delay(v); l < lab.L[u] {
+			lab.L[u] = l
+			lab.LT[u] = lab.LT[v]
+		}
+		if rr := lab.R[v] - g.Delay(v); rr > lab.R[u] {
+			lab.R[u] = rr
+			lab.RT[u] = lab.RT[v]
+		}
+		lab.HasWindow[u] = true
+	}
+}
+
+// Clone deep-copies the labels.
+func (lab *Labels) Clone() *Labels {
+	return &Labels{
+		L:         append([]float64(nil), lab.L...),
+		R:         append([]float64(nil), lab.R...),
+		HasWindow: append([]bool(nil), lab.HasWindow...),
+		LT:        append([]graph.VertexID(nil), lab.LT...),
+		RT:        append([]graph.VertexID(nil), lab.RT...),
+	}
+}
+
+// FirstDiff returns the first vertex at which lab and other disagree on
+// any field (exact float comparison; +Inf/-Inf compare equal to
+// themselves), or (Host, false) when they are identical. It is the
+// primitive behind the incremental-vs-oracle cross-check.
+func (lab *Labels) FirstDiff(other *Labels) (graph.VertexID, bool) {
+	if len(lab.L) != len(other.L) {
+		return graph.Host, true
+	}
+	for v := range lab.L {
+		if lab.HasWindow[v] != other.HasWindow[v] {
+			return graph.VertexID(v), true
+		}
+		if lab.L[v] != other.L[v] || lab.R[v] != other.R[v] {
+			return graph.VertexID(v), true
+		}
+		if lab.LT[v] != other.LT[v] || lab.RT[v] != other.RT[v] {
+			return graph.VertexID(v), true
 		}
 	}
-	return lab, nil
+	return graph.Host, false
 }
 
 // CheckP1 verifies constraint P1: L(v) >= d(v) for every gate with a

@@ -151,6 +151,17 @@ func (g *Graph) WR(e EdgeID, r Retiming) int32 {
 	return ed.W + r[ed.To] - r[ed.From]
 }
 
+// EdgeWeights materializes w_r for every edge under r, indexed by EdgeID.
+// The slice is the representation the incremental solver state keeps
+// current across tentative moves (see internal/solverstate).
+func (g *Graph) EdgeWeights(r Retiming) []int32 {
+	wr := make([]int32, len(g.edges))
+	for i := range g.edges {
+		wr[i] = g.WR(EdgeID(i), r)
+	}
+	return wr
+}
+
 // CheckLegal verifies r(Host) = 0 and w_r(e) >= 0 on every edge (P0).
 func (g *Graph) CheckLegal(r Retiming) error {
 	if len(r) != g.NumVertices() {

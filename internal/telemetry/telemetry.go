@@ -66,6 +66,10 @@ const (
 	// PhaseRepair is the constraint integration of one iteration's
 	// violations (level 2, inside PhaseMinimize).
 	PhaseRepair
+	// PhaseLabelPatch is one dirty-region incremental L/R label update of
+	// the transactional solver state (level 3, inside PhaseFindViolations;
+	// the incremental sibling of PhaseELWRecompute).
+	PhaseLabelPatch
 
 	// NumPhases bounds the enum; not a phase.
 	NumPhases
@@ -88,6 +92,7 @@ var phaseNames = [NumPhases]string{
 	PhaseFindViolations:       "find-violations",
 	PhaseELWRecompute:         "elw-recompute",
 	PhaseRepair:               "repair",
+	PhaseLabelPatch:           "label-patch",
 }
 
 var phaseLevels = [NumPhases]int{
@@ -107,6 +112,7 @@ var phaseLevels = [NumPhases]int{
 	PhaseFindViolations:       2,
 	PhaseELWRecompute:         3,
 	PhaseRepair:               2,
+	PhaseLabelPatch:           3,
 }
 
 // String returns the phase's trace name (constant; never allocates).
@@ -170,6 +176,19 @@ const (
 	// CounterRetries counts same-tier retry attempts after transient
 	// failures.
 	CounterRetries
+	// CounterLabelPatches counts dirty-region incremental L/R label
+	// updates performed by the transactional solver state (the hits of
+	// the incremental path).
+	CounterLabelPatches
+	// CounterLabelFulls counts full L/R recomputes performed by the
+	// solver state: the initial seed-miss plus every fallback (dirty
+	// region over threshold, or negative retimed weights in the dirty
+	// region). incremental-hit ratio = patches / (patches + fulls).
+	CounterLabelFulls
+	// CounterLabelFallbacks counts the subset of CounterLabelFulls caused
+	// by a mid-transaction fallback (threshold exceeded or negative
+	// weights), excluding the initial committed-label computation.
+	CounterLabelFallbacks
 
 	// NumCounters bounds the enum; not a counter.
 	NumCounters
@@ -188,6 +207,9 @@ var counterNames = [NumCounters]string{
 	CounterWatchdogResets:  "watchdog-resets",
 	CounterTierTransitions: "tier-transitions",
 	CounterRetries:         "retries",
+	CounterLabelPatches:    "label-patches",
+	CounterLabelFulls:      "label-fulls",
+	CounterLabelFallbacks:  "label-fallbacks",
 }
 
 // String returns the counter's trace name (constant; never allocates).
@@ -215,6 +237,10 @@ const (
 	// GaugePeakRetimingSpan is the largest committed per-vertex move
 	// |r(v)| seen during a run.
 	GaugePeakRetimingSpan Gauge = iota
+	// GaugeDirtyFraction is the largest dirty-region fraction seen by the
+	// incremental label patcher, in permille of the gate count (values
+	// above the fallback threshold mean a full recompute was taken).
+	GaugeDirtyFraction
 
 	// NumGauges bounds the enum; not a gauge.
 	NumGauges
@@ -222,6 +248,7 @@ const (
 
 var gaugeNames = [NumGauges]string{
 	GaugePeakRetimingSpan: "peak-retiming-span",
+	GaugeDirtyFraction:    "dirty-fraction",
 }
 
 // String returns the gauge's trace name (constant; never allocates).

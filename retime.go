@@ -99,6 +99,22 @@ type RetimeOptions struct {
 	// budget between degradation tiers; tests use it to wedge the budget
 	// (an absurdly large bound makes every P2' constraint infeasible).
 	RminOverride float64
+	// CheckLabels cross-checks every incremental L/R label patch of the
+	// optimizer against the full elw.ComputeLabels oracle and fails with
+	// an error unwrapping to solverstate.ErrLabelMismatch on divergence
+	// (serbench -checklabels). Debug mode: restores recompute-per-move
+	// cost.
+	CheckLabels bool
+	// FullLabelRecompute disables the optimizer's dirty-region label
+	// patching, recomputing labels from scratch on every tentative move —
+	// the pre-incremental behavior, kept for before/after benchmarks.
+	FullLabelRecompute bool
+	// initMemo, when set by RetimeRobust, caches the Section V
+	// initialization and the rebased graph across degradation tiers that
+	// share (Ts, Th, Epsilon), so stepping down a tier does not repeat
+	// the min-period searches and the tiers seed their solver state from
+	// one set of labels.
+	initMemo *initCache
 	// Recorder receives the run's telemetry: phase spans (obs-analysis,
 	// init, gains, minimize, verify, rebuild, analysis and the optimizer's
 	// inner phases), counters, and gauges. nil records nothing; the no-op
@@ -184,13 +200,7 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		return nil, err
 	}
 
-	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{
-		Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon, Recorder: opt.Recorder,
-	})
-	if err != nil {
-		return nil, err
-	}
-	base, err := d.g.Rebase(init.R)
+	init, base, err := d.initializeBase(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -230,10 +240,13 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 
 	copt := core.Options{
 		Phi: init.Phi, Ts: opt.Ts, Th: opt.Th, Rmin: init.Rmin,
-		ELWConstraints:  opt.Algorithm == MinObsWin,
-		SingleViolation: opt.SingleViolation,
-		StallSteps:      opt.StallSteps,
-		Recorder:        opt.Recorder,
+		ELWConstraints:     opt.Algorithm == MinObsWin,
+		SingleViolation:    opt.SingleViolation,
+		StallSteps:         opt.StallSteps,
+		SeedLabels:         init.Labels,
+		CheckLabels:        opt.CheckLabels,
+		FullLabelRecompute: opt.FullLabelRecompute,
+		Recorder:           opt.Recorder,
 	}
 	if opt.RminOverride != 0 {
 		copt.Rmin = opt.RminOverride
@@ -296,6 +309,34 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		Runtime: elapsed,
 		Retimed: retimed,
 	}, nil
+}
+
+// initializeBase runs the Section V initialization and rebases the graph
+// onto it, consulting the degradation chain's memo (RetimeRobust) so
+// tiers sharing (Ts, Th, Epsilon) pay for the min-period searches once
+// and seed their solver state from the same labels. Memoized entries are
+// read-only: Init.R is never written after creation, the rebased Graph is
+// immutable, and the solver state clones Init.Labels before patching.
+func (d *Design) initializeBase(ctx context.Context, opt RetimeOptions) (*retime.Init, *graph.Graph, error) {
+	if opt.initMemo != nil {
+		if init, base, ok := opt.initMemo.get(opt.Ts, opt.Th, opt.Epsilon); ok {
+			return init, base, nil
+		}
+	}
+	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{
+		Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon, Recorder: opt.Recorder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := d.g.Rebase(init.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.initMemo != nil {
+		opt.initMemo.put(opt.Ts, opt.Th, opt.Epsilon, init, base)
+	}
+	return init, base, nil
 }
 
 // verifyMove checks sequential equivalence of the optimizer's (forward)

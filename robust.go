@@ -4,12 +4,50 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"serretime/internal/graph"
 	"serretime/internal/guard"
+	"serretime/internal/retime"
 	"serretime/internal/telemetry"
 )
+
+// initCache memoizes the Section V initialization (and the graph rebased
+// onto it) per (Ts, Th, Epsilon) for one design, so the rungs of a
+// degradation chain share one initialization instead of re-running the
+// min-period searches: TierMinObsWin and TierMinObs use the same key and
+// reuse the entry — including Init.Labels, which each tier's solver state
+// clones as its seed — while TierMinObsWinRelaxed (different Epsilon)
+// computes its own. A cache belongs to one RetimeRobust call and must not
+// be shared across designs.
+type initCache struct {
+	mu      sync.Mutex
+	entries map[initKey]initEntry
+}
+
+type initKey struct{ ts, th, epsilon float64 }
+
+type initEntry struct {
+	init *retime.Init
+	base *graph.Graph
+}
+
+func (c *initCache) get(ts, th, epsilon float64) (*retime.Init, *graph.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[initKey{ts, th, epsilon}]
+	return e.init, e.base, ok
+}
+
+func (c *initCache) put(ts, th, epsilon float64, init *retime.Init, base *graph.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[initKey]initEntry{}
+	}
+	c.entries[initKey{ts, th, epsilon}] = initEntry{init, base}
+}
 
 // Tier identifies which rung of the graceful-degradation ladder produced
 // a RobustResult. Lower values are stronger answers.
@@ -118,6 +156,10 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 	if opt.RelaxFactor <= 1 {
 		opt.RelaxFactor = 2
 	}
+	// Tiers built from this options value share one initialization memo
+	// (the chain construction below copies RetimeOptions by value, so the
+	// pointer is what carries across rungs).
+	opt.RetimeOptions.initMemo = &initCache{}
 	type rung struct {
 		tier Tier
 		opts RetimeOptions
