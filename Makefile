@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); EXPERIMENTS.md records the results.
+
+GO ?= go
+# Benchmarks of the parallel analysis front-end (ISSUE 4): signature
+# simulation, fault injection, ODC observability, W/D build.
+FRONTEND_BENCH = BenchmarkFrontEnd
+BENCHTIME ?= 1s
+
+.PHONY: test race bench bench-baseline bench-append
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Human-readable front-end benchmark run (benchstat-ready: pipe two runs
+# into benchstat to compare worker counts or revisions).
+bench:
+	$(GO) test -run=NONE -bench '$(FRONTEND_BENCH)' -benchmem -benchtime $(BENCHTIME) .
+
+# Record a fresh trajectory file (destroys history; normally you want
+# bench-append).
+bench-baseline:
+	$(GO) test -run=NONE -bench '$(FRONTEND_BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -label baseline > BENCH_baseline.json
+
+# Append a labelled series to the committed trajectory file.
+# Usage: make bench-append LABEL=parallel
+LABEL ?= parallel
+bench-append:
+	$(GO) test -run=NONE -bench '$(FRONTEND_BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -merge BENCH_baseline.json > BENCH_baseline.json.tmp
+	mv BENCH_baseline.json.tmp BENCH_baseline.json

@@ -1,0 +1,128 @@
+package serretime
+
+// Front-end benchmarks of the analysis engine: the n-time-frame signature
+// simulation, the fault-injection ground truth, the backward ODC
+// observability pass, and the Leiserson–Saxe W/D matrix build — the phases
+// that dominate wall-clock before the optimizer starts (ISSUE 4).
+//
+// Sub-benchmark names are structured key=value segments
+// (circuit=X/phase=Y/workers=N) so that `cmd/benchjson` can turn the
+// output into BENCH_baseline.json entries and `benchstat` can diff
+// sequential against sharded runs of the same phase (the CI
+// benchmark-compare job). workers=1 is the exact sequential code path;
+// outputs are bit-identical for every worker count (see
+// TestFrontEndDeterminism* and DESIGN.md §11).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"serretime/internal/benchfmt"
+	"serretime/internal/circuit"
+	"serretime/internal/graph"
+	"serretime/internal/obs"
+	"serretime/internal/sim"
+)
+
+// frontEndWorkers lists the worker counts benchmarked per phase: the
+// sequential baseline, a fixed 2-way split, and the machine width (when it
+// differs). SERRETIME_BENCH_WORKERS overrides the list with explicit
+// comma-separated counts (e.g. "1,2,4,8" for the EXPERIMENTS.md scaling
+// table and the CI benchmark-compare job).
+func frontEndWorkers() []int {
+	if s := os.Getenv("SERRETIME_BENCH_WORKERS"); s != "" {
+		var ws []int
+		for _, part := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				panic("SERRETIME_BENCH_WORKERS: bad worker count " + part)
+			}
+			ws = append(ws, n)
+		}
+		return ws
+	}
+	ws := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func benchCircuit(b *testing.B, name string) *circuit.Circuit {
+	b.Helper()
+	c, err := benchfmt.ParseFile("testdata/" + name + ".bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// firstGate returns a mid-circuit gate to fault-inject.
+func firstGate(b *testing.B, c *circuit.Circuit) circuit.NodeID {
+	b.Helper()
+	for id := c.NumNodes() / 2; id < c.NumNodes(); id++ {
+		if c.Node(circuit.NodeID(id)).Kind == circuit.KindGate {
+			return circuit.NodeID(id)
+		}
+	}
+	b.Fatal("no gate found")
+	return 0
+}
+
+func BenchmarkFrontEnd(b *testing.B) {
+	for _, name := range []string{"par2500", "par6000"} {
+		c := benchCircuit(b, name)
+		for _, w := range frontEndWorkers() {
+			cfg := sim.Config{Words: 8, Frames: 15, Seed: 1, Workers: w}
+			b.Run(fmt.Sprintf("circuit=%s/phase=sim/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(c, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			tr, err := sim.Run(c, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := firstGate(b, c)
+			b.Run(fmt.Sprintf("circuit=%s/phase=inject/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.InjectFlip(tr, target); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("circuit=%s/phase=obs/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := obs.Compute(tr, obs.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// W/D is Θ(|V|²) memory; benchmark it on the mid-size circuit only.
+	c := benchCircuit(b, "par2500")
+	g, err := graph.FromCircuit(c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range frontEndWorkers() {
+		b.Run(fmt.Sprintf("circuit=par2500/phase=wd/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ComputeWDPar(nil, w, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

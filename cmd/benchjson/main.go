@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// repository's benchmark-trajectory format: a JSON array of entries, one
+// per benchmark result, each carrying the structured sub-benchmark labels
+// (circuit, phase, workers) next to ns/op, B/op and allocs/op. It is the
+// producer of BENCH_baseline.json (see `make bench-baseline`).
+//
+// Usage:
+//
+//	go test -run=NONE -bench BenchmarkFrontEnd -benchmem . |
+//	    go run ./cmd/benchjson -label parallel -merge BENCH_baseline.json
+//
+// The output (stdout) is the merged array: existing entries of the -merge
+// file first, then the newly parsed ones, so successive runs append a
+// trajectory instead of overwriting it. Lines that are not benchmark
+// results are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement of the trajectory file.
+type Entry struct {
+	// Label tags the measurement series ("baseline", "parallel", ...).
+	Label string `json:"label"`
+	// Bench is the full benchmark name as reported by go test, with the
+	// trailing -GOMAXPROCS suffix stripped.
+	Bench string `json:"bench"`
+	// Circuit, Phase and Workers are parsed from key=value path segments
+	// of the benchmark name ("" / 0 when absent).
+	Circuit string `json:"circuit,omitempty"`
+	Phase   string `json:"phase,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// Iters is the b.N the measurement settled on.
+	Iters int64 `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard testing metrics
+	// (the latter two require -benchmem and are -1 when absent).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	label := flag.String("label", "", "series label recorded on every entry (required)")
+	merge := flag.String("merge", "", "existing trajectory file whose entries are kept ahead of the new ones")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+
+	var entries []Entry
+	if *merge != "" {
+		data, err := os.ReadFile(*merge)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &entries); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *merge, err)
+				os.Exit(1)
+			}
+		case os.IsNotExist(err):
+			// First run: nothing to merge.
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	parsed := 0
+	for sc.Scan() {
+		e, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		e.Label = *label
+		entries = append(entries, e)
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if parsed == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFrontEnd/circuit=par2500/phase=sim/workers=2-8  50  23456 ns/op  1024 B/op  3 allocs/op
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix from the last path segment.
+	if i := strings.LastIndexByte(name, '-'); i > strings.LastIndexByte(name, '/') {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Bench: name, Iters: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for _, seg := range strings.Split(name, "/") {
+		k, v, ok := strings.Cut(seg, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "circuit":
+			e.Circuit = v
+		case "phase":
+			e.Phase = v
+		case "workers":
+			if n, err := strconv.Atoi(v); err == nil {
+				e.Workers = n
+			}
+		}
+	}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if e.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Entry{}, false
+			}
+			seenNs = true
+		case "B/op":
+			e.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			e.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return e, seenNs
+}

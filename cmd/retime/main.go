@@ -7,6 +7,7 @@
 //
 //	retime -in s27.bench -out s27_retimed.bench [-algo minobswin|minobs|minarea]
 //	       [-epsilon 0.10] [-area-weight 0] [-engine closure|forest] [-verify]
+//	       [-workers N]
 //
 // A summary of the run (clock period, Rmin, SER before/after, register
 // counts, iterations) is printed to standard output.
@@ -33,6 +34,7 @@ func main() {
 		frames     = flag.Int("frames", 15, "time-frame expansion depth")
 		words      = flag.Int("words", 4, "signature width in 64-bit words")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		workers    = flag.Int("workers", 0, "CPU workers for the parallel analyses (0 = one per CPU, 1 = sequential); results are identical for every value")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -49,6 +51,7 @@ func main() {
 		AreaWeight: *areaWeight,
 		Verify:     *verify,
 		Analysis:   serretime.AnalysisOptions{Frames: *frames, SignatureWords: *words, Seed: *seed},
+		Workers:    *workers,
 	}
 	switch *algo {
 	case "minobswin":

@@ -21,7 +21,8 @@
 // JSONL (one run label per circuit; read back with seranalyze -trace),
 // -metrics adds a per-row phase-breakdown column from an in-memory
 // collector — including the optimizer's incremental-hit ratio inc=P/T
-// (P label patches out of T label updates; T−P were full recomputes) —
+// (P label patches out of T label updates; T−P were full recomputes) and,
+// with -workers > 1, the sharded analyses' pool utilization util=U% w=K —
 // and -cpuprofile/-memprofile write standard runtime/pprof profiles of
 // the sweep. -checklabels cross-checks every incremental label patch
 // against the full elw.ComputeLabels oracle; a divergence fails the row
@@ -31,7 +32,7 @@
 // Usage:
 //
 //	serbench [-scale auto|N] [-circuits name,name,...] [-in files] [-parallel N]
-//	         [-frames N] [-words N] [-engine closure|forest] [-verify]
+//	         [-workers N] [-frames N] [-words N] [-engine closure|forest] [-verify]
 //	         [-timeout D] [-retries N] [-stallsteps N] [-faultinject names]
 //	         [-trace out.jsonl] [-metrics] [-checklabels]
 //	         [-cpuprofile f] [-memprofile f]
@@ -91,6 +92,7 @@ type config struct {
 	circuits    string
 	inFiles     string
 	parallel    int
+	workers     int
 	frames      int
 	words       int
 	engine      string
@@ -129,6 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.circuits, "circuits", "", "comma-separated circuit names (default: all 21 of Table I)")
 	fs.StringVar(&cfg.inFiles, "in", "", "comma-separated netlist files (.bench/.blif/.v) swept instead of the Table I set")
 	fs.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "circuits processed concurrently")
+	fs.IntVar(&cfg.workers, "workers", 1, "CPU workers sharding each circuit's analysis phases (0 = one per CPU, 1 = sequential); results are identical for every value")
 	fs.IntVar(&cfg.frames, "frames", 15, "time-frame expansion depth n")
 	fs.IntVar(&cfg.words, "words", 4, "signature width in 64-bit words")
 	fs.StringVar(&cfg.engine, "engine", "closure", "optimizer engine: closure or forest")
@@ -209,14 +212,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, max(cfg.parallel, 1))
 	for i, j := range jobs {
-		i, j := i, j
+		// Acquire before spawning: with -parallel N only N goroutines exist
+		// at a time, instead of one (mostly blocked) goroutine per job.
+		sem <- struct{}{}
 		wg.Add(1)
-		go func() {
+		go func(i int, j job) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			rows[i] = runOne(j, cfg, eng, tw)
-		}()
+		}(i, j)
 	}
 	wg.Wait()
 	printTable(stdout, rows, cfg.metrics)
@@ -287,6 +291,13 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 			if total > 0 {
 				r.phases += fmt.Sprintf(" inc=%d/%d", patched, total)
 			}
+			// Worker-pool utilization of the sharded analyses: busy time
+			// summed over workers against wall time scaled by the pool
+			// width. Absent when every pool ran inline (-workers 1).
+			if wall, w := s.Counter(telemetry.CounterParWallNanos), s.Gauge(telemetry.GaugeParWorkers); wall > 0 && w > 0 {
+				util := 100 * float64(s.Counter(telemetry.CounterParBusyNanos)) / (float64(wall) * float64(w))
+				r.phases += fmt.Sprintf(" util=%.0f%% w=%d", util, w)
+			}
 		}
 	}()
 
@@ -316,6 +327,7 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 			StallSteps:  cfg.stallSteps,
 			CheckLabels: cfg.checkLabels,
 			Recorder:    rec,
+			Workers:     cfg.workers,
 		},
 		Timeout: cfg.timeout,
 		Retries: cfg.retries,

@@ -125,6 +125,11 @@ type Options struct {
 	// and the peak retiming span gauge. nil records nothing (the no-op
 	// recorder adds zero allocations to the hot path).
 	Recorder telemetry.Recorder
+	// Workers bounds the CPU workers of parallelizable sub-analyses —
+	// today the exact solver's W/D matrix build (MinObsExact). 0 (or
+	// negative) means one worker per available CPU; 1 is the sequential
+	// path. Results are bit-identical for every value (DESIGN.md §11).
+	Workers int
 }
 
 // engine abstracts the closed-set machinery shared by Minimize.

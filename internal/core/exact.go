@@ -78,8 +78,9 @@ func canCapture(g *graph.Graph) []bool {
 // forwardOnly restricts the program to r <= 0 (forward moves), the
 // direction Algorithm 1 explores; pass false for the unrestricted optimum
 // (the gap, if any, measures what a backward phase could add — see
-// DESIGN.md).
-func MinObsExact(g *graph.Graph, gains []int64, obsInt []int64, phi, ts float64, forwardOnly bool) (*Result, error) {
+// DESIGN.md). Of opt only Workers and Recorder are consumed: they shard
+// the Θ(|V|²) W/D matrix build across CPUs without changing the result.
+func MinObsExact(g *graph.Graph, gains []int64, obsInt []int64, phi, ts float64, forwardOnly bool, opt Options) (*Result, error) {
 	if len(gains) != g.NumVertices() {
 		return nil, fmt.Errorf("core: gains length mismatch")
 	}
@@ -100,7 +101,10 @@ func MinObsExact(g *graph.Graph, gains []int64, obsInt []int64, phi, ts float64,
 	// reach a register or primary output (a dangling cone) carry no
 	// timing obligation — the label-based check skips them too.
 	capture := canCapture(g)
-	wd := g.ComputeWD()
+	wd, err := g.ComputeWDPar(nil, opt.Workers, opt.Recorder)
+	if err != nil {
+		return nil, fmt.Errorf("core: exact MinObs: %w", err)
+	}
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if !capture[v] {

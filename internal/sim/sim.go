@@ -4,15 +4,21 @@
 //
 // Signatures are []uint64 slices: every machine word carries 64 independent
 // random simulation vectors, so one pass over the netlist simulates 64·W
-// input patterns.
+// input patterns. Signature words are mutually independent columns, which
+// makes them the safe parallel axis: Run and InjectFlip shard the per-frame
+// evaluation across word ranges (DESIGN.md §11) and produce bit-identical
+// traces for every worker count.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
 
 	"serretime/internal/circuit"
+	"serretime/internal/par"
+	"serretime/internal/telemetry"
 )
 
 // Config controls a simulation run.
@@ -23,6 +29,14 @@ type Config struct {
 	Frames int
 	// Seed makes the random vectors reproducible.
 	Seed int64
+	// Workers bounds the CPU workers sharding signature words during gate
+	// evaluation. 0 (or negative) means one worker per available CPU;
+	// 1 runs the exact sequential code path. The trace is bit-identical
+	// for every value: random draws happen outside the parallel sections
+	// and each shard writes a disjoint word range.
+	Workers int
+	// Recorder receives worker-pool utilization telemetry (nil: none).
+	Recorder telemetry.Recorder
 }
 
 // DefaultConfig matches the paper's setup: 15 time frames; 256 random
@@ -50,6 +64,10 @@ type Trace struct {
 	Order []circuit.NodeID
 
 	vals [][]uint64 // vals[frame][int(node)*Words+w]
+
+	// Sharding configuration inherited by derived analyses (InjectFlip).
+	workers int
+	rec     telemetry.Recorder
 }
 
 // Value returns the signature of node n in the given frame. The returned
@@ -62,6 +80,12 @@ func (t *Trace) Value(frame int, n circuit.NodeID) []uint64 {
 // Run simulates cfg.Frames cycles of c with fresh random primary-input
 // signatures every frame and random initial flip-flop contents.
 func Run(c *circuit.Circuit, cfg Config) (*Trace, error) {
+	return RunCtx(context.Background(), c, cfg)
+}
+
+// RunCtx is Run with cancellation: a done ctx aborts between shards with a
+// guard.ErrTimeout-wrapped error.
+func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Trace, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -76,14 +100,20 @@ func Run(c *circuit.Circuit, cfg Config) (*Trace, error) {
 		Frames:  cfg.Frames,
 		Order:   order,
 		vals:    make([][]uint64, cfg.Frames),
+		workers: cfg.Workers,
+		rec:     cfg.Recorder,
 	}
 	n := c.NumNodes()
-	in := make([]uint64, 0, 8)
+	// One slab for all frames: the trace is long-lived, so slicing a single
+	// allocation beats per-frame slabs without changing any value.
+	slab := make([]uint64, cfg.Frames*n*cfg.Words)
+	pool := par.New("sim.run", cfg.Workers, cfg.Recorder)
 	for f := 0; f < cfg.Frames; f++ {
-		t.vals[f] = make([]uint64, n*cfg.Words)
-		// Sources first: PIs and DFFs must hold their frame-f values
-		// before any gate reads them (the topological order may place a
-		// gate whose fanins are all sources ahead of some sources).
+		t.vals[f] = slab[f*n*cfg.Words : (f+1)*n*cfg.Words]
+		// Sources first, sequentially: PIs and DFFs must hold their frame-f
+		// values before any gate reads them (the topological order may place
+		// a gate whose fanins are all sources ahead of some sources), and
+		// the RNG draw order must not depend on the worker count.
 		for id := 0; id < n; id++ {
 			nd := c.Node(circuit.NodeID(id))
 			base := id * cfg.Words
@@ -103,20 +133,32 @@ func Run(c *circuit.Circuit, cfg Config) (*Trace, error) {
 				}
 			}
 		}
-		for _, id := range order {
-			nd := c.Node(id)
-			if nd.Kind != circuit.KindGate {
-				continue
-			}
-			base := int(id) * cfg.Words
-			dst := t.vals[f][base : base+cfg.Words]
-			for w := 0; w < cfg.Words; w++ {
-				in = in[:0]
-				for _, fid := range nd.Fanin {
-					in = append(in, t.vals[f][int(fid)*cfg.Words+w])
+		// Gate evaluation sharded across word columns: within one word the
+		// topological order serializes data dependencies; across words there
+		// are none.
+		vals := t.vals[f]
+		err := pool.Run(ctx, cfg.Words, func(worker, lo, hi int) error {
+			W := cfg.Words
+			in := make([]uint64, 0, 8)
+			for _, id := range order {
+				nd := c.Node(id)
+				if nd.Kind != circuit.KindGate {
+					continue
 				}
-				dst[w] = nd.Fn.Eval(in)
+				base := int(id) * W
+				dst := vals[base : base+W]
+				for w := lo; w < hi; w++ {
+					in = in[:0]
+					for _, fid := range nd.Fanin {
+						in = append(in, vals[int(fid)*W+w])
+					}
+					dst[w] = nd.Fn.Eval(in)
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return t, nil

@@ -189,6 +189,20 @@ const (
 	// by a mid-transaction fallback (threshold exceeded or negative
 	// weights), excluding the initial committed-label computation.
 	CounterLabelFallbacks
+	// CounterParRuns counts parallel sections executed by internal/par
+	// pools (Run calls that actually forked; inline sequential runs are
+	// not counted).
+	CounterParRuns
+	// CounterParShards counts the shards (contiguous index spans)
+	// executed across all parallel sections.
+	CounterParShards
+	// CounterParBusyNanos accumulates per-shard busy nanoseconds summed
+	// over all workers; worker utilization of the parallel sections is
+	// busy / (wall · workers).
+	CounterParBusyNanos
+	// CounterParWallNanos accumulates the wall-clock nanoseconds spent
+	// inside parallel sections (fork to join).
+	CounterParWallNanos
 
 	// NumCounters bounds the enum; not a counter.
 	NumCounters
@@ -210,6 +224,10 @@ var counterNames = [NumCounters]string{
 	CounterLabelPatches:    "label-patches",
 	CounterLabelFulls:      "label-fulls",
 	CounterLabelFallbacks:  "label-fallbacks",
+	CounterParRuns:         "par-runs",
+	CounterParShards:       "par-shards",
+	CounterParBusyNanos:    "par-busy-ns",
+	CounterParWallNanos:    "par-wall-ns",
 }
 
 // String returns the counter's trace name (constant; never allocates).
@@ -241,6 +259,9 @@ const (
 	// incremental label patcher, in permille of the gate count (values
 	// above the fallback threshold mean a full recompute was taken).
 	GaugeDirtyFraction
+	// GaugeParWorkers is the widest internal/par pool that executed a
+	// parallel section.
+	GaugeParWorkers
 
 	// NumGauges bounds the enum; not a gauge.
 	NumGauges
@@ -249,6 +270,7 @@ const (
 var gaugeNames = [NumGauges]string{
 	GaugePeakRetimingSpan: "peak-retiming-span",
 	GaugeDirtyFraction:    "dirty-fraction",
+	GaugeParWorkers:       "par-workers",
 }
 
 // String returns the gauge's trace name (constant; never allocates).

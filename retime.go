@@ -117,10 +117,18 @@ type RetimeOptions struct {
 	initMemo *initCache
 	// Recorder receives the run's telemetry: phase spans (obs-analysis,
 	// init, gains, minimize, verify, rebuild, analysis and the optimizer's
-	// inner phases), counters, and gauges. nil records nothing; the no-op
+	// inner phases), counters, gauges, and the worker-pool utilization
+	// counters of the sharded analyses. nil records nothing; the no-op
 	// recorder costs nothing on the hot path. Use a telemetry.Collector for
 	// in-memory RunStats or a telemetry.JSONLWriter for a streaming trace.
 	Recorder telemetry.Recorder
+	// Workers bounds the CPU workers of the parallel analyses (signature
+	// simulation, ODC observability, exact-solver W/D build). 0 (or
+	// negative) means one worker per available CPU; 1 runs the exact
+	// sequential code paths. Every result is bit-identical for every
+	// value (DESIGN.md §11). Analysis.Workers, when nonzero, overrides
+	// this for the observability analysis alone.
+	Workers int
 }
 
 // RetimeResult reports a full retiming run.
@@ -191,10 +199,13 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 	if opt.Th == 0 {
 		opt.Th = DefaultTh
 	}
+	if opt.Analysis.Workers == 0 {
+		opt.Analysis.Workers = opt.Workers
+	}
 	rec := telemetry.OrNop(opt.Recorder)
 
 	rec.SpanStart(telemetry.PhaseObs)
-	err := d.ensureObs(opt.Analysis)
+	err := d.ensureObsRec(opt.Analysis, opt.Recorder)
 	rec.SpanEnd(telemetry.PhaseObs, err)
 	if err != nil {
 		return nil, err
@@ -247,6 +258,7 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		CheckLabels:        opt.CheckLabels,
 		FullLabelRecompute: opt.FullLabelRecompute,
 		Recorder:           opt.Recorder,
+		Workers:            opt.Workers,
 	}
 	if opt.RminOverride != 0 {
 		copt.Rmin = opt.RminOverride
@@ -325,6 +337,7 @@ func (d *Design) initializeBase(ctx context.Context, opt RetimeOptions) (*retime
 	}
 	init, err := retime.InitializeCtx(ctx, d.g, retime.Options{
 		Ts: opt.Ts, Th: opt.Th, Epsilon: opt.Epsilon, Recorder: opt.Recorder,
+		Workers: opt.Workers,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -256,7 +256,10 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 // is the input itself.
 func (d *Design) identityResult(ctx context.Context, opt RetimeOptions) (*RetimeResult, error) {
 	return guard.Do(ctx, "serretime.identity", func(context.Context) (*RetimeResult, error) {
-		if err := d.ensureObs(opt.Analysis); err != nil {
+		if opt.Analysis.Workers == 0 {
+			opt.Analysis.Workers = opt.Workers
+		}
+		if err := d.ensureObsRec(opt.Analysis, opt.Recorder); err != nil {
 			return nil, err
 		}
 		an, err := d.analyzeAt(d.g, graph.NewRetiming(d.g), 0, opt.Analysis)

@@ -33,6 +33,7 @@ import (
 	"serretime/internal/obs"
 	"serretime/internal/ser"
 	"serretime/internal/sim"
+	"serretime/internal/telemetry"
 	"serretime/internal/vlogfmt"
 )
 
@@ -245,6 +246,12 @@ type AnalysisOptions struct {
 	// MaxIntervals caps per-gate ELW interval counts; 0 keeps windows
 	// exact.
 	MaxIntervals int
+	// Workers bounds the CPU workers sharding the simulation and ODC
+	// passes across signature words. 0 (or negative) means one worker per
+	// available CPU; 1 runs the exact sequential code path. Results are
+	// bit-identical for every value (DESIGN.md §11), so the worker count
+	// never invalidates a cached analysis.
+	Workers int
 }
 
 func (o AnalysisOptions) normalized() AnalysisOptions {
@@ -264,15 +271,28 @@ func (o AnalysisOptions) normalized() AnalysisOptions {
 // original circuit; gate observabilities are invariant under retiming
 // (Section III-B), so one analysis serves every retimed variant.
 func (d *Design) ensureObs(opt AnalysisOptions) error {
+	return d.ensureObsRec(opt, nil)
+}
+
+// ensureObsRec is ensureObs with worker-pool telemetry routed to rec.
+// The cache key drops Workers: the analysis is bit-identical for every
+// worker count, so a cached result stays valid when only the parallelism
+// changes.
+func (d *Design) ensureObsRec(opt AnalysisOptions, rec telemetry.Recorder) error {
 	opt = opt.normalized()
-	if d.gateObs != nil && d.obsOpt == opt {
+	key := opt
+	key.Workers = 0
+	if d.gateObs != nil && d.obsOpt == key {
 		return nil
 	}
-	tr, err := sim.Run(d.c, sim.Config{Words: opt.SignatureWords, Frames: opt.Frames, Seed: opt.Seed})
+	tr, err := sim.Run(d.c, sim.Config{
+		Words: opt.SignatureWords, Frames: opt.Frames, Seed: opt.Seed,
+		Workers: opt.Workers, Recorder: rec,
+	})
 	if err != nil {
 		return err
 	}
-	res, err := obs.Compute(tr, obs.Options{})
+	res, err := obs.Compute(tr, obs.Options{Workers: opt.Workers, Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -288,7 +308,7 @@ func (d *Design) ensureObs(opt AnalysisOptions) error {
 	if err != nil {
 		return err
 	}
-	d.obsOpt = opt
+	d.obsOpt = key
 	d.gateObs = gateObs
 	d.edgeObs = edgeObs
 	d.rates = rates
