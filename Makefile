@@ -7,7 +7,7 @@ GO ?= go
 FRONTEND_BENCH = BenchmarkFrontEnd
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-baseline bench-append
+.PHONY: test race bench bench-baseline bench-append serve
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -33,3 +33,9 @@ bench-append:
 	$(GO) test -run=NONE -bench '$(FRONTEND_BENCH)' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -label $(LABEL) -merge BENCH_baseline.json > BENCH_baseline.json.tmp
 	mv BENCH_baseline.json.tmp BENCH_baseline.json
+
+# Run the batch-retiming daemon (DESIGN.md §12). Override the listen
+# address with ADDR, e.g. make serve ADDR=:9090.
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/serretimed -addr $(ADDR)

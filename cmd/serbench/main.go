@@ -107,6 +107,12 @@ type config struct {
 	checkLabels bool
 	cpuProfile  string
 	memProfile  string
+
+	// -serve client mode (see serve.go)
+	serveURL     string
+	burst        int
+	pollInterval time.Duration
+	serveWait    time.Duration
 }
 
 func main() {
@@ -146,8 +152,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.checkLabels, "checklabels", false, "cross-check every incremental label patch against the full-recompute oracle; mismatches fail the row")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile at the end of the sweep")
+	fs.StringVar(&cfg.serveURL, "serve", "", "load-generator client mode: hammer a running serretimed at this base URL instead of solving in-process")
+	fs.IntVar(&cfg.burst, "burst", 64, "with -serve, concurrent submissions in the burst")
+	fs.DurationVar(&cfg.pollInterval, "poll", 200*time.Millisecond, "with -serve, job status poll interval")
+	fs.DurationVar(&cfg.serveWait, "servewait", 10*time.Minute, "with -serve, overall client deadline for the burst")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if cfg.serveURL != "" {
+		return runServe(cfg, stdout, stderr)
 	}
 
 	var jobs []job

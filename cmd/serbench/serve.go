@@ -1,0 +1,326 @@
+package main
+
+// serbench -serve: a load-generator client for the serretimed daemon.
+// Instead of solving circuits in-process, the sweep's netlists are
+// POSTed to a running service in a concurrent burst; every job is polled
+// to completion and its result downloaded. The client verifies what the
+// service promises: no accepted job is dropped, repeated submissions of
+// one payload return byte-identical retimed netlists, and resubmissions
+// hit the content-addressed cache (disposition "coalesced" or "cached").
+// Exit status: 0 = every job solved and deterministic, 1 = any failure,
+// 2 = client/usage error.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"serretime"
+	"serretime/internal/gen"
+)
+
+// findTableIScale mirrors the -scale auto policy of the in-process
+// sweep: shrink each circuit to at most autoCap gates.
+func findTableIScale(name string, autoCap int) (int, error) {
+	spec, err := gen.FindTableI(name)
+	if err != nil {
+		return 0, err
+	}
+	return (spec.Gates + autoCap - 1) / autoCap, nil
+}
+
+// jobMsg mirrors the service's submit/status JSON responses.
+type jobMsg struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Status      string `json:"status"`
+	Tier        string `json:"tier"`
+	Disposition string `json:"disposition"`
+	Error       string `json:"error"`
+	ErrorClass  string `json:"error_class"`
+}
+
+// payload is one submittable netlist.
+type payload struct {
+	name string // filename carrying the format, e.g. par2500.bench
+	body []byte
+}
+
+// servePayloads builds the burst's netlists: the -in files read from
+// disk, or Table I synthetics rendered to canonical .bench.
+func servePayloads(cfg config) ([]payload, error) {
+	var out []payload
+	if cfg.inFiles != "" {
+		for _, p := range strings.Split(cfg.inFiles, ",") {
+			d, err := serretime.Load(p)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := d.WriteBench(&buf); err != nil {
+				return nil, err
+			}
+			base := filepath.Base(p)
+			out = append(out, payload{name: strings.TrimSuffix(base, filepath.Ext(base)) + ".bench", body: buf.Bytes()})
+		}
+		return out, nil
+	}
+	names := serretime.TableICircuits()
+	if cfg.circuits != "" {
+		names = strings.Split(cfg.circuits, ",")
+	}
+	for _, n := range names {
+		scale := 1
+		if cfg.scaleFlag != "auto" {
+			s, err := strconv.Atoi(cfg.scaleFlag)
+			if err != nil || s < 1 {
+				return nil, fmt.Errorf("bad -scale %q", cfg.scaleFlag)
+			}
+			scale = s
+		} else {
+			spec, err := findTableIScale(n, cfg.autoCap)
+			if err != nil {
+				return nil, err
+			}
+			scale = spec
+		}
+		d, err := serretime.NewTableIDesign(n, scale)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := d.WriteBench(&buf); err != nil {
+			return nil, err
+		}
+		out = append(out, payload{name: n + ".bench", body: buf.Bytes()})
+	}
+	return out, nil
+}
+
+// submitURL renders the POST endpoint with the sweep's solve options as
+// query parameters.
+func submitURL(cfg config, name string) string {
+	q := url.Values{}
+	q.Set("name", name)
+	q.Set("algorithm", "minobswin")
+	q.Set("frames", strconv.Itoa(cfg.frames))
+	q.Set("words", strconv.Itoa(cfg.words))
+	if cfg.engine == "forest" {
+		q.Set("engine", "forest")
+	}
+	if cfg.timeout > 0 {
+		q.Set("timeout", cfg.timeout.String())
+	}
+	if cfg.stallSteps > 0 {
+		q.Set("stallsteps", strconv.Itoa(cfg.stallSteps))
+	}
+	if cfg.retries > 0 {
+		q.Set("retries", strconv.Itoa(cfg.retries))
+	}
+	return strings.TrimRight(cfg.serveURL, "/") + "/v1/retime?" + q.Encode()
+}
+
+// submitOne POSTs a payload, retrying 429 backpressure responses after
+// the server's Retry-After hint until the deadline. A 429 is not a
+// dropped job — it is the queue bound working; the client's job is to
+// keep offering the work.
+func submitOne(client *http.Client, u string, body []byte, deadline time.Time) (jobMsg, int, error) {
+	var retried429 int
+	for {
+		resp, err := client.Post(u, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			return jobMsg{}, retried429, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobMsg{}, retried429, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retried429++
+			wait := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if time.Now().Add(wait).After(deadline) {
+				return jobMsg{}, retried429, fmt.Errorf("queue full until deadline")
+			}
+			time.Sleep(wait)
+			continue
+		}
+		var msg jobMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return jobMsg{}, retried429, fmt.Errorf("bad response (HTTP %d): %.200s", resp.StatusCode, data)
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return jobMsg{}, retried429, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg.Error)
+		}
+		return msg, retried429, nil
+	}
+}
+
+// pollJob polls a job's status until it reaches a terminal state.
+func pollJob(client *http.Client, base, id string, interval time.Duration, deadline time.Time) (jobMsg, error) {
+	u := strings.TrimRight(base, "/") + "/v1/jobs/" + id
+	for {
+		resp, err := client.Get(u)
+		if err != nil {
+			return jobMsg{}, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobMsg{}, err
+		}
+		var msg jobMsg
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return jobMsg{}, fmt.Errorf("bad status response (HTTP %d): %.200s", resp.StatusCode, data)
+		}
+		switch msg.Status {
+		case "done", "failed":
+			return msg, nil
+		}
+		if time.Now().After(deadline) {
+			return msg, fmt.Errorf("job %s still %q at deadline", id, msg.Status)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetchResult downloads a finished job's retimed netlist.
+func fetchResult(client *http.Client, base, id string) ([]byte, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result: HTTP %d: %.200s", resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// runServe is the -serve entry point: submit a burst of cfg.burst
+// submissions (cycling through the payload set), poll every job to
+// completion, download and cross-check results, and print a summary.
+func runServe(cfg config, stdout, stderr io.Writer) int {
+	payloads, err := servePayloads(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: -serve: %v\n", err)
+		return 2
+	}
+	if cfg.burst < len(payloads) {
+		cfg.burst = len(payloads)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	deadline := time.Now().Add(cfg.serveWait)
+
+	type outcome struct {
+		payload    int
+		msg        jobMsg
+		result     []byte
+		retried429 int
+		err        error
+	}
+	outcomes := make([]outcome, cfg.burst)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := payloads[i%len(payloads)]
+			o := &outcomes[i]
+			o.payload = i % len(payloads)
+			msg, retried, err := submitOne(client, submitURL(cfg, p.name), p.body, deadline)
+			o.retried429 = retried
+			if err != nil {
+				o.err = err
+				return
+			}
+			// The status endpoint doesn't echo the disposition — only the
+			// submit response carries it, so hold on to it across polling.
+			disp := msg.Disposition
+			if msg.Status != "done" && msg.Status != "failed" {
+				msg, err = pollJob(client, cfg.serveURL, msg.ID, cfg.pollInterval, deadline)
+				if err != nil {
+					o.err = err
+					return
+				}
+				msg.Disposition = disp
+			}
+			o.msg = msg
+			if msg.Status == "failed" {
+				o.err = fmt.Errorf("job failed (%s): %s", msg.ErrorClass, msg.Error)
+				return
+			}
+			o.result, o.err = fetchResult(client, cfg.serveURL, msg.ID)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Tally and verify determinism: all results of one payload must be
+	// byte-identical.
+	ref := make([][]byte, len(payloads))
+	var accepted, coalesced, cached, retried429, failures, mismatches int
+	for i := range outcomes {
+		o := &outcomes[i]
+		retried429 += o.retried429
+		if o.err != nil {
+			failures++
+			fmt.Fprintf(stderr, "serbench: -serve: submission %d (%s): %v\n", i, payloads[o.payload].name, o.err)
+			continue
+		}
+		switch o.msg.Disposition {
+		case "coalesced":
+			coalesced++
+		case "cached":
+			cached++
+		default:
+			accepted++
+		}
+		if ref[o.payload] == nil {
+			ref[o.payload] = o.result
+		} else if !bytes.Equal(ref[o.payload], o.result) {
+			mismatches++
+			fmt.Fprintf(stderr, "serbench: -serve: nondeterministic result for %s\n", payloads[o.payload].name)
+		}
+	}
+
+	fmt.Fprintf(stdout, "serve burst against %s\n", cfg.serveURL)
+	fmt.Fprintf(stdout, "  payloads        %d (%s)\n", len(payloads), payloadNames(payloads))
+	fmt.Fprintf(stdout, "  submissions     %d in %v (%.1f/s)\n", cfg.burst, wall.Round(time.Millisecond), float64(cfg.burst)/wall.Seconds())
+	fmt.Fprintf(stdout, "  accepted        %d\n", accepted)
+	fmt.Fprintf(stdout, "  coalesced       %d\n", coalesced)
+	fmt.Fprintf(stdout, "  cached          %d\n", cached)
+	fmt.Fprintf(stdout, "  429 retries     %d\n", retried429)
+	fmt.Fprintf(stdout, "  failures        %d\n", failures)
+	fmt.Fprintf(stdout, "  nondeterminism  %d\n", mismatches)
+	if failures > 0 || mismatches > 0 {
+		return 1
+	}
+	return 0
+}
+
+func payloadNames(ps []payload) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = strings.TrimSuffix(p.name, ".bench")
+	}
+	return strings.Join(names, ",")
+}

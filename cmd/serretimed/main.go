@@ -1,0 +1,129 @@
+// Command serretimed is the batch-retiming daemon: an HTTP service that
+// accepts netlists (.bench/.blif/.v), solves them through the
+// RetimeRobust degradation chain on a bounded worker pool, and serves
+// results from a content-addressed cache — identical (netlist, options)
+// submissions are answered without re-solving.
+//
+// Endpoints:
+//
+//	POST /v1/retime           submit a netlist (raw body + ?name=, or
+//	                          multipart field "netlist"); options via
+//	                          query parameters (algorithm, epsilon,
+//	                          frames, words, seed, timeout, ...)
+//	GET  /v1/jobs/{id}        job status (tier, ΔSER, error class)
+//	GET  /v1/jobs/{id}/result retimed netlist download (.bench)
+//	GET  /healthz             liveness, queue depth
+//	GET  /metrics             Prometheus-style metrics
+//
+// A full queue answers 429 with Retry-After; SIGTERM/SIGINT drains
+// gracefully: the listener stops accepting, in-flight solves are
+// cancelled through their context, queued jobs are failed, and the JSONL
+// trace (when -trace is set) is flushed before exit.
+//
+// Usage:
+//
+//	serretimed [-addr :8080] [-queue 64] [-jobs N] [-solve-workers N]
+//	           [-timeout 5m] [-retries N] [-cache N] [-trace out.jsonl]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"serretime/internal/service"
+	"serretime/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("serretimed", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 64, "job queue bound (submissions beyond it get 429)")
+	workers := fs.Int("jobs", 0, "concurrent solves (0 = one per CPU)")
+	solveWorkers := fs.Int("solve-workers", 1, "per-solve analysis workers (internal/par budget)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "default per-attempt solve budget")
+	retries := fs.Int("retries", 0, "default per-tier retry count")
+	cacheSize := fs.Int("cache", 4096, "retained finished jobs (content-addressed cache entries)")
+	tracePath := fs.String("trace", "", "stream a JSONL telemetry trace of every solve")
+	drainWait := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var rec telemetry.Recorder
+	var trace *telemetry.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serretimed: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		trace = telemetry.NewJSONLWriter(f)
+		rec = trace
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	svc := service.New(context.Background(), service.Config{
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		SolveWorkers: *solveWorkers,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		MaxJobs:      *cacheSize,
+		Recorder:     rec,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serretimed: %v\n", err)
+		return 1
+	}
+	fmt.Printf("serretimed: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "serretimed: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, cancel in-flight solves, flush the trace.
+	fmt.Println("serretimed: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "serretimed: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "serretimed: drain: %v\n", err)
+		code = 1
+	}
+	if trace != nil {
+		if err := trace.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "serretimed: trace: %v\n", err)
+			code = 1
+		}
+	}
+	fmt.Println("serretimed: stopped")
+	return code
+}

@@ -83,6 +83,56 @@ func RecoverParse(format string, line *int, err *error) {
 	}
 }
 
+// OptionError reports an invalid option value handed to a public entry
+// point (a NaN clock parameter, an unrecognized netlist extension, a
+// negative queue bound). Options are caller input just like netlist text,
+// so OptionError unwraps to ErrParse and callers classify it with the
+// same errors.Is dispatch as any malformed input.
+type OptionError struct {
+	// Op names the entry point that rejected the option.
+	Op string
+	// Option names the offending field or flag.
+	Option string
+	// Msg describes what was wrong with the value.
+	Msg string
+}
+
+func (e *OptionError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("%s: invalid option %s: %s", e.Op, e.Option, e.Msg)
+	}
+	return fmt.Sprintf("invalid option %s: %s", e.Option, e.Msg)
+}
+
+func (e *OptionError) Unwrap() error { return ErrParse }
+
+// Optionf builds a *OptionError with a formatted message.
+func Optionf(op, option, msgf string, args ...any) *OptionError {
+	return &OptionError{Op: op, Option: option, Msg: fmt.Sprintf(msgf, args...)}
+}
+
+// Classify names the taxonomy sentinel err unwraps to ("parse",
+// "infeasible", "timeout", "stalled", "internal"), or "other" for errors
+// from outside the taxonomy and "" for nil. The names are stable: they
+// key metrics labels and appear in service responses.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrParse):
+		return "parse"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrStalled):
+		return "stalled"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	}
+	return "other"
+}
+
 // InternalError wraps a recovered panic. Value is the recovered value and
 // Stack the goroutine stack captured at the recovery point.
 type InternalError struct {

@@ -1,0 +1,304 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"time"
+
+	"serretime"
+	"serretime/internal/guard"
+)
+
+// Handler returns the service's HTTP front end:
+//
+//	POST /v1/retime           submit a netlist (raw or multipart body)
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/result retimed netlist download
+//	GET  /healthz             liveness + queue depth
+//	GET  /metrics             Prometheus-style metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitResponse is the POST /v1/retime reply.
+type submitResponse struct {
+	JobView
+	// Disposition is "accepted", "coalesced" or "cached".
+	Disposition string `json:"disposition"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, guard.ErrParse):
+		status = http.StatusBadRequest
+	case errors.Is(err, guard.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, guard.ErrTimeout):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Class: guard.Classify(err)})
+}
+
+// handleSubmit accepts a netlist as a raw request body (the filename —
+// which selects the format — comes from the "name" query parameter,
+// default circuit.bench) or as the first file of a multipart form
+// (preferred field "netlist"; the part's filename selects the format).
+// Solve options come from query parameters; see optionsFromQuery.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	opt, err := optionsFromQuery(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body, name, err := s.readNetlist(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	d, err := serretime.Parse(body, name)
+	body.Close()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	j, disp, err := s.Submit(d, opt)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if disp == Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{JobView: s.View(j), Disposition: disp.String()})
+}
+
+// readNetlist extracts the netlist stream and its format-carrying name
+// from the request. The caller closes the returned reader.
+func (s *Server) readNetlist(r *http.Request) (io.ReadCloser, string, error) {
+	limited := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt != "multipart/form-data" {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "circuit.bench"
+		}
+		return limited, name, nil
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		return nil, "", guard.Optionf("service.submit", "Content-Type", "multipart form without boundary")
+	}
+	mr := multipart.NewReader(limited, boundary)
+	var first *multipart.Part
+	for {
+		p, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, "", guard.Optionf("service.submit", "body", "bad multipart form: %v", err)
+		}
+		if p.FileName() == "" {
+			continue
+		}
+		if p.FormName() == "netlist" {
+			return p, p.FileName(), nil
+		}
+		if first == nil {
+			first = p
+		}
+	}
+	if first != nil {
+		return first, first.FileName(), nil
+	}
+	return nil, "", guard.Optionf("service.submit", "body", "multipart form has no file part")
+}
+
+// optionsFromQuery builds the solve options from query parameters:
+//
+//	algorithm    minobswin (default) | minobs | minarea
+//	engine       closure (default) | forest
+//	epsilon      clock-period relaxation ε (float)
+//	frames       time-frame expansion depth n
+//	words        signature width in 64-bit words
+//	seed         simulation seed
+//	maxintervals per-gate ELW interval cap
+//	stallsteps   optimizer stall watchdog
+//	timeout      per-attempt budget (Go duration; server default applies
+//	             when absent)
+//	retries      per-tier retry count
+//	verify       co-simulate the retiming against the input (boolean);
+//	             result-invariant, so it does not fragment the cache key
+//
+// Unknown values fail with typed errors unwrapping to guard.ErrParse;
+// non-finite floats are rejected here so a NaN never reaches the hashing
+// or caching layers.
+func optionsFromQuery(r *http.Request) (serretime.RobustOptions, error) {
+	q := r.URL.Query()
+	var opt serretime.RobustOptions
+	switch alg := q.Get("algorithm"); alg {
+	case "", "minobswin":
+		opt.Algorithm = serretime.MinObsWin
+	case "minobs":
+		opt.Algorithm = serretime.MinObs
+	case "minarea":
+		opt.Algorithm = serretime.MinArea
+	default:
+		return opt, guard.Optionf("service.submit", "algorithm", "unknown algorithm %q", alg)
+	}
+	switch eng := q.Get("engine"); eng {
+	case "", "closure":
+		opt.Engine = serretime.EngineClosure
+	case "forest":
+		opt.Engine = serretime.EngineForest
+	default:
+		return opt, guard.Optionf("service.submit", "engine", "unknown engine %q", eng)
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"epsilon", &opt.Epsilon},
+	} {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+			return opt, guard.Optionf("service.submit", f.name, "want a finite float, got %q", v)
+		}
+		*f.dst = x
+	}
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{"frames", &opt.Analysis.Frames},
+		{"words", &opt.Analysis.SignatureWords},
+		{"maxintervals", &opt.Analysis.MaxIntervals},
+		{"stallsteps", &opt.StallSteps},
+		{"retries", &opt.Retries},
+	} {
+		v := q.Get(f.name)
+		if v == "" {
+			continue
+		}
+		x, err := strconv.Atoi(v)
+		if err != nil || x < 0 {
+			return opt, guard.Optionf("service.submit", f.name, "want a non-negative integer, got %q", v)
+		}
+		*f.dst = x
+	}
+	if v := q.Get("seed"); v != "" {
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return opt, guard.Optionf("service.submit", "seed", "want an integer, got %q", v)
+		}
+		opt.Analysis.Seed = x
+	}
+	if v := q.Get("verify"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opt, guard.Optionf("service.submit", "verify", "want a boolean, got %q", v)
+		}
+		opt.Verify = b
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return opt, guard.Optionf("service.submit", "timeout", "want a non-negative duration, got %q", v)
+		}
+		opt.Timeout = d
+	}
+	return opt, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.View(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	res, err := s.Result(j)
+	if err != nil {
+		if v := s.View(j); v.Status == StateQueued.String() || v.Status == StateRunning.String() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job %s: %s", j.ID, v.Status)})
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.Name+"_retimed.bench"))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res)
+}
+
+type healthResponse struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+	Uptime        string `json:"uptime"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	depth, capa := s.QueueDepth()
+	writeJSON(w, code, healthResponse{
+		Status:        status,
+		QueueDepth:    depth,
+		QueueCapacity: capa,
+		Workers:       s.cfg.Workers,
+		Uptime:        time.Since(s.start).Round(time.Second).String(),
+	})
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"serretime"
+	"serretime/internal/telemetry"
+)
+
+// handleMetrics renders the service state in the Prometheus text
+// exposition format: queue and cache gauges, job dispositions, per-tier
+// and per-error-class outcome counts, the solve-latency histogram, and
+// the shared telemetry.Collector's phase durations, counters and gauges
+// (so the solver's own observability — label-patch hit ratios, worker
+// pool utilization, violation counts — is scrapeable without a trace
+// file).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	s.mu.Lock()
+	accepted, rejected, coalesced, hits := s.accepted, s.rejected, s.coalesced, s.cacheHits
+	completed, failed := s.completed, s.failed
+	byTier := s.byTier
+	byClass := make(map[string]int64, len(s.byClass))
+	for k, v := range s.byClass {
+		byClass[k] = v
+	}
+	entries := len(s.jobs)
+	s.mu.Unlock()
+
+	gauge := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	depth, capa := s.QueueDepth()
+	gauge("serretimed_uptime_seconds", int64(time.Since(s.start).Seconds()), "seconds since the service started")
+	gauge("serretimed_queue_depth", depth, "jobs accepted but not yet picked up by a worker")
+	gauge("serretimed_queue_capacity", capa, "bound of the job queue (submissions beyond it get 429)")
+	gauge("serretimed_workers", s.cfg.Workers, "concurrent solve workers")
+
+	counter("serretimed_jobs_accepted_total", accepted, "fresh jobs enqueued")
+	counter("serretimed_jobs_rejected_total", rejected, "submissions refused with 429 (queue full)")
+	counter("serretimed_jobs_coalesced_total", coalesced, "submissions attached to an identical in-flight job")
+	counter("serretimed_jobs_completed_total", completed, "jobs finished with a result")
+	counter("serretimed_jobs_failed_total", failed, "jobs finished with an error")
+
+	fmt.Fprintf(&b, "# HELP serretimed_jobs_by_tier_total completed jobs by degradation tier\n# TYPE serretimed_jobs_by_tier_total counter\n")
+	for t := serretime.TierMinObsWin; t <= serretime.TierIdentity; t++ {
+		fmt.Fprintf(&b, "serretimed_jobs_by_tier_total{tier=%q} %d\n", t.String(), byTier[t])
+	}
+	if len(byClass) > 0 {
+		fmt.Fprintf(&b, "# HELP serretimed_jobs_failed_by_class_total failed jobs by guard error class\n# TYPE serretimed_jobs_failed_by_class_total counter\n")
+		classes := make([]string, 0, len(byClass))
+		for c := range byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Fprintf(&b, "serretimed_jobs_failed_by_class_total{class=%q} %d\n", c, byClass[c])
+		}
+	}
+
+	counter("serretimed_cache_hits_total", hits, "submissions served from a finished identical job")
+	counter("serretimed_cache_misses_total", accepted+rejected, "submissions that found no identical live job")
+	gauge("serretimed_cache_entries", entries, "retained jobs (the content-addressed cache size)")
+	ratio := 0.0
+	if total := hits + coalesced + accepted + rejected; total > 0 {
+		ratio = float64(hits+coalesced) / float64(total)
+	}
+	gauge("serretimed_cache_hit_ratio", fmt.Sprintf("%.6f", ratio), "fraction of submissions that avoided a fresh solve")
+
+	// Solve latency histogram (successful solves only), cumulative
+	// Prometheus buckets.
+	snap := s.lat.Snapshot()
+	fmt.Fprintf(&b, "# HELP serretimed_solve_seconds wall time of successful solves\n# TYPE serretimed_solve_seconds histogram\n")
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(&b, "serretimed_solve_seconds_bucket{le=%q} %d\n", formatSeconds(bound), cum)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	fmt.Fprintf(&b, "serretimed_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "serretimed_solve_seconds_sum %.6f\n", snap.Sum.Seconds())
+	fmt.Fprintf(&b, "serretimed_solve_seconds_count %d\n", snap.Count)
+
+	// Solver-internal telemetry from the shared collector.
+	stats := s.col.Stats()
+	fmt.Fprintf(&b, "# HELP serretimed_solver_phase_seconds_total summed span durations per solver phase\n# TYPE serretimed_solver_phase_seconds_total counter\n")
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		if ps := stats.Phases[p]; ps.Count > 0 {
+			fmt.Fprintf(&b, "serretimed_solver_phase_seconds_total{phase=%q} %.6f\n", p.String(), ps.Total.Seconds())
+		}
+	}
+	fmt.Fprintf(&b, "# HELP serretimed_solver_phase_spans_total completed spans per solver phase\n# TYPE serretimed_solver_phase_spans_total counter\n")
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		if ps := stats.Phases[p]; ps.Count > 0 {
+			fmt.Fprintf(&b, "serretimed_solver_phase_spans_total{phase=%q} %d\n", p.String(), ps.Count)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP serretimed_solver_events_total solver counters (see internal/telemetry)\n# TYPE serretimed_solver_events_total counter\n")
+	for c := telemetry.Counter(0); c < telemetry.NumCounters; c++ {
+		if v := stats.Counters[c]; v != 0 {
+			fmt.Fprintf(&b, "serretimed_solver_events_total{counter=%q} %d\n", c.String(), v)
+		}
+	}
+	for g := telemetry.Gauge(0); g < telemetry.NumGauges; g++ {
+		if v := stats.Gauges[g]; v != 0 {
+			fmt.Fprintf(&b, "serretimed_solver_gauge_max{gauge=%q} %d\n", g.String(), v)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// formatSeconds renders a bucket bound as seconds with no trailing
+// zeros (Prometheus le label convention).
+func formatSeconds(d time.Duration) string {
+	s := fmt.Sprintf("%g", d.Seconds())
+	return s
+}

@@ -1,0 +1,510 @@
+// Package service is the batch-retiming daemon behind cmd/serretimed: a
+// bounded job queue with backpressure, a content-addressed result cache,
+// and an HTTP front end over the public serretime API.
+//
+// Jobs are content-addressed: a job's identity is the SHA-256 of the
+// submitted circuit's *normalized* netlist (parsed, then re-serialized in
+// canonical .bench form, so whitespace, comments, and even the source
+// format don't fragment the key) concatenated with the canonical option
+// key (RobustOptions.CanonicalKey, defaults applied, result-invariant
+// fields excluded). The job table therefore IS the cache: resubmitting a
+// finished circuit returns the finished job without re-solving, and
+// resubmitting one that is still queued or running coalesces onto the
+// in-flight job instead of solving it twice.
+//
+// Solves run through the existing robustness machinery: each worker calls
+// Design.RetimeRobust under the server's base context, so the per-attempt
+// timeout, the stall watchdog, panic isolation and the degradation chain
+// all apply, and a SIGTERM drain cancels in-flight solves by cancelling
+// that context. Telemetry from every solve lands in one shared
+// telemetry.Collector (plus any extra recorder, e.g. a JSONL trace) and
+// is rendered by /metrics together with the queue, cache, and latency
+// counters.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"serretime"
+	"serretime/internal/guard"
+	"serretime/internal/telemetry"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState uint8
+
+const (
+	// StateQueued means the job is accepted and waiting for a worker.
+	StateQueued JobState = iota
+	// StateRunning means a worker is solving the job.
+	StateRunning
+	// StateDone means the job finished and its result is downloadable.
+	StateDone
+	// StateFailed means every degradation tier failed (or the drain
+	// cancelled the job); Err holds the typed cause.
+	StateFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobState(%d)", uint8(s))
+}
+
+// Job is one batch-retiming request. All mutable fields are guarded by
+// the owning Server's mutex; Done is closed exactly once when the job
+// reaches StateDone or StateFailed.
+type Job struct {
+	// ID is the content address: hex SHA-256 of the normalized netlist
+	// plus the canonical option key.
+	ID string
+	// Name is the circuit name from the submitted netlist.
+	Name string
+	// Done is closed when the job finishes (either terminal state).
+	Done chan struct{}
+
+	design *serretime.Design
+	opts   serretime.RobustOptions
+
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	tier      serretime.Tier
+	degraded  bool
+	deltaSER  float64
+	result    []byte // retimed netlist, canonical .bench
+	err       error
+	hits      int64 // cache hits + in-flight coalescings onto this job
+}
+
+// JobView is an immutable snapshot of a Job for JSON responses.
+type JobView struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name"`
+	Status   string  `json:"status"`
+	Tier     string  `json:"tier,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	DeltaSER float64 `json:"delta_ser"`
+	// Hits counts how many submissions this job absorbed beyond the
+	// first (cache hits after completion, coalescings before it).
+	Hits       int64  `json:"hits"`
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	QueuedFor  string `json:"queued_for,omitempty"`
+	Runtime    string `json:"runtime,omitempty"`
+}
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-safe default applied by New.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-unfinished jobs; a
+	// full queue answers 429 with a Retry-After hint. Default 64.
+	QueueDepth int
+	// Workers is the number of concurrent solves. Default GOMAXPROCS.
+	Workers int
+	// SolveWorkers is the per-solve analysis worker budget threaded to
+	// RetimeOptions.Workers (the internal/par pools). Default 1: the
+	// queue already provides inter-job parallelism, so intra-job
+	// sharding would oversubscribe under load.
+	SolveWorkers int
+	// Timeout is the default per-attempt solve budget (RobustOptions.
+	// Timeout) when a submission doesn't set its own. Default 5m.
+	Timeout time.Duration
+	// Retries is the default per-tier retry count. Default 0.
+	Retries int
+	// MaxJobs bounds the retained finished jobs (the cache size);
+	// beyond it the oldest finished jobs are evicted. Default 4096.
+	MaxJobs int
+	// MaxBodyBytes bounds an uploaded netlist. Default 32 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the backpressure hint returned with 429. Default 1s.
+	RetryAfter time.Duration
+	// Recorder receives solver telemetry in addition to the server's own
+	// collector (e.g. a telemetry.JSONLWriter for a persistent trace).
+	Recorder telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolveWorkers == 0 {
+		c.SolveWorkers = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the batch-retiming service. Create with New, serve its
+// Handler, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	col   *telemetry.Collector
+	rec   telemetry.Recorder
+	lat   *telemetry.Histogram
+	queue chan *Job
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	start   time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // finished-job eviction order (oldest first)
+	draining bool
+
+	// counters (guarded by mu; scraped by /metrics)
+	accepted  int64 // jobs enqueued (cache misses)
+	rejected  int64 // 429s: queue full
+	coalesced int64 // submissions attached to an in-flight identical job
+	cacheHits int64 // submissions served from a finished identical job
+	completed int64
+	failed    int64
+	byTier    [4]int64 // completed jobs by serretime.Tier
+	byClass   map[string]int64
+}
+
+// New builds a Server and starts its worker pool. ctx bounds the whole
+// service: cancelling it is equivalent to Drain's cancellation half.
+func New(ctx context.Context, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	bctx, cancel := context.WithCancel(ctx)
+	s := &Server{
+		cfg:     cfg,
+		col:     telemetry.NewCollector(),
+		lat:     telemetry.NewHistogram(telemetry.LatencyBounds()),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		baseCtx: bctx,
+		cancel:  cancel,
+		start:   time.Now(),
+		jobs:    make(map[string]*Job),
+		byClass: make(map[string]int64),
+	}
+	s.rec = telemetry.Tee(s.col, cfg.Recorder)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// JobKey is the content address of (netlist, options): the hex SHA-256
+// of the canonical .bench serialization of the parsed design, a NUL, and
+// the canonical option key. Exported so clients (serbench -serve) and
+// tests can predict cache behavior.
+func JobKey(d *serretime.Design, opt serretime.RobustOptions) (string, error) {
+	var buf bytes.Buffer
+	if err := d.WriteBench(&buf); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	h.Write([]byte{0})
+	h.Write([]byte(opt.CanonicalKey()))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Submit registers a parsed design for solving under the given options
+// (server defaults are applied to zero Timeout/Retries). It returns the
+// job — possibly an existing one — and how the submission was resolved:
+//
+//	accepted  a fresh job was enqueued
+//	coalesced an identical job is already queued or running
+//	cached    an identical job already finished; its result is served
+//
+// A full queue returns ErrQueueFull (HTTP 429 upstream); a draining
+// server returns ErrDraining (HTTP 503).
+func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job, Disposition, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = s.cfg.Timeout
+	}
+	if opt.Retries == 0 {
+		opt.Retries = s.cfg.Retries
+	}
+	if opt.Workers == 0 {
+		opt.Workers = s.cfg.SolveWorkers
+	}
+	opt.Recorder = s.rec
+	key, err := JobKey(d, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 0, ErrDraining
+	}
+	if j, ok := s.jobs[key]; ok {
+		switch j.state {
+		case StateQueued, StateRunning:
+			j.hits++
+			s.coalesced++
+			return j, Coalesced, nil
+		case StateDone:
+			j.hits++
+			s.cacheHits++
+			return j, Cached, nil
+		case StateFailed:
+			// A failed job is not a result: drop it and retry below.
+			delete(s.jobs, key)
+			s.dropFromOrder(key)
+		}
+	}
+	j := &Job{
+		ID:        key,
+		Name:      d.Name(),
+		Done:      make(chan struct{}),
+		design:    d,
+		opts:      opt,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected++
+		return nil, 0, ErrQueueFull
+	}
+	s.jobs[key] = j
+	s.accepted++
+	return j, Accepted, nil
+}
+
+// Disposition says how Submit resolved a submission.
+type Disposition uint8
+
+const (
+	// Accepted: a fresh job was enqueued.
+	Accepted Disposition = iota
+	// Coalesced: attached to an identical in-flight job.
+	Coalesced
+	// Cached: served from an identical finished job.
+	Cached
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Accepted:
+		return "accepted"
+	case Coalesced:
+		return "coalesced"
+	case Cached:
+		return "cached"
+	}
+	return fmt.Sprintf("Disposition(%d)", uint8(d))
+}
+
+// Typed service errors; both unwrap to sentinels callers can errors.Is.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = fmt.Errorf("service: queue full")
+	// ErrDraining is returned by Submit once Drain has begun (HTTP 503).
+	ErrDraining = fmt.Errorf("service: draining")
+)
+
+// Job returns the job with the given ID, if retained.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// View snapshots a job for JSON rendering.
+func (s *Server) View(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Name:     j.Name,
+		Status:   j.state.String(),
+		DeltaSER: j.deltaSER,
+		Hits:     j.hits,
+	}
+	switch j.state {
+	case StateQueued:
+		v.QueuedFor = time.Since(j.submitted).Round(time.Millisecond).String()
+	case StateRunning:
+		v.Runtime = time.Since(j.started).Round(time.Millisecond).String()
+	case StateDone:
+		v.Tier = j.tier.String()
+		v.Degraded = j.degraded
+		v.Runtime = j.finished.Sub(j.started).Round(time.Millisecond).String()
+	case StateFailed:
+		v.Error = j.err.Error()
+		v.ErrorClass = guard.Classify(j.err)
+	}
+	return v
+}
+
+// Result returns a finished job's retimed netlist (canonical .bench).
+func (s *Server) Result(j *Job) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, j.err
+	}
+	return nil, fmt.Errorf("service: job %s not finished (%s)", j.ID, j.state)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	if err := guard.Checkpoint(s.baseCtx, "service.runJob"); err != nil {
+		s.finishJob(j, err)
+		return
+	}
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	res, err := j.design.RetimeRobust(s.baseCtx, j.opts)
+	if err != nil {
+		s.finishJob(j, err)
+		return
+	}
+	var buf bytes.Buffer
+	if werr := res.Retimed.WriteBench(&buf); werr != nil {
+		s.finishJob(j, werr)
+		return
+	}
+	s.lat.Observe(time.Since(j.started))
+	s.mu.Lock()
+	j.state = StateDone
+	j.finished = time.Now()
+	j.tier = res.Tier
+	j.degraded = res.Degraded
+	j.deltaSER = res.DeltaSER()
+	j.result = buf.Bytes()
+	s.completed++
+	if int(res.Tier) < len(s.byTier) {
+		s.byTier[res.Tier]++
+	}
+	s.retainLocked(j.ID)
+	s.mu.Unlock()
+	close(j.Done)
+}
+
+func (s *Server) finishJob(j *Job, err error) {
+	s.mu.Lock()
+	j.state = StateFailed
+	j.finished = time.Now()
+	j.err = err
+	s.failed++
+	s.byClass[guard.Classify(err)]++
+	s.retainLocked(j.ID)
+	s.mu.Unlock()
+	close(j.Done)
+}
+
+// retainLocked appends a finished job to the eviction order and evicts
+// the oldest finished jobs beyond MaxJobs. Callers hold s.mu.
+func (s *Server) retainLocked(id string) {
+	s.order = append(s.order, id)
+	for len(s.order) > s.cfg.MaxJobs {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.jobs, old)
+	}
+}
+
+func (s *Server) dropFromOrder(id string) {
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Drain shuts the service down: new submissions are refused with
+// ErrDraining, in-flight solves are cancelled through the base context
+// (they fail with errors unwrapping to guard.ErrTimeout), workers exit,
+// and every still-queued job is failed. ctx bounds the wait; on expiry
+// the workers may still be unwinding. The caller owns flushing any trace
+// recorder it passed in Config.Recorder.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Workers are gone; fail whatever never started.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishJob(j, fmt.Errorf("service: job %s cancelled by drain: %w", j.ID, ErrDraining))
+		default:
+			return nil
+		}
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the number of queued-but-unstarted jobs and the
+// queue capacity.
+func (s *Server) QueueDepth() (depth, capacity int) {
+	return len(s.queue), cap(s.queue)
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bound duration histogram with lock-free atomic
+// buckets, built for the service's solve-latency metric: Observe on the
+// worker path costs one atomic add per call, Snapshot is taken only when
+// /metrics is scraped. Bounds are upper bounds in ascending order; an
+// observation lands in the first bucket whose bound it does not exceed,
+// or in the implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64   // total observed nanoseconds
+	n      atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds. NewHistogram(nil) still works: everything lands in +Inf and
+// only count/sum are meaningful.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LatencyBounds is the default solve-latency bucket ladder: 1ms to ~8.5
+// minutes, doubling per bucket (19 buckets + overflow).
+func LatencyBounds() []time.Duration {
+	bounds := make([]time.Duration, 0, 19)
+	for d := time.Millisecond; d <= 512*time.Second; d *= 2 {
+		bounds = append(bounds, d)
+	}
+	return bounds
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts has
+// one entry per bound plus the +Inf overflow bucket and is
+// non-cumulative; renderers that need Prometheus-style cumulative
+// buckets sum a running prefix.
+type HistogramSnapshot struct {
+	Bounds []time.Duration
+	Counts []int64
+	Sum    time.Duration
+	Count  int64
+}
+
+// Snapshot copies the histogram's state. Concurrent Observes may or may
+// not be included; the snapshot is internally consistent enough for
+// monitoring (bucket sums can trail Count by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,27 @@
+package verify
+
+import "testing"
+
+// TestDefaultsCentralized is the regression test for the inline-default
+// drift bug: ForwardEquivalent used to apply Words/Cycles fallbacks
+// inline and forgot Seed, so a zero-valued Options simulated a
+// different stream than the documented defaults. DefaultOptions and
+// normalized must now agree field by field.
+func TestDefaultsCentralized(t *testing.T) {
+	def := DefaultOptions()
+	if def.Words != 2 || def.Cycles != 32 || def.Seed != 1 {
+		t.Fatalf("DefaultOptions() = %+v; want Words=2 Cycles=32 Seed=1", def)
+	}
+	if norm := (Options{}).normalized(); norm != def {
+		t.Errorf("zero Options normalize to %+v, DefaultOptions is %+v", norm, def)
+	}
+	// Explicit values survive normalization untouched.
+	set := Options{Words: 5, Cycles: 7, Seed: -3}
+	if got := set.normalized(); got != set {
+		t.Errorf("explicit options mangled by normalization: %+v -> %+v", set, got)
+	}
+	// Negative sizes fold to the defaults rather than poisoning the sim.
+	if got := (Options{Words: -1, Cycles: -1}).normalized(); got != def {
+		t.Errorf("negative sizes normalize to %+v, want %+v", got, def)
+	}
+}

@@ -34,12 +34,29 @@ type Options struct {
 	Words int
 	// Cycles is the number of clock cycles co-simulated. Default 32.
 	Cycles int
-	// Seed drives the random initial state and input streams.
+	// Seed drives the random initial state and input streams. Default 1.
 	Seed int64
 }
 
 // DefaultOptions returns the default check configuration.
-func DefaultOptions() Options { return Options{Words: 2, Cycles: 32, Seed: 1} }
+func DefaultOptions() Options { return Options{}.normalized() }
+
+// normalized is the single source of truth for option defaults:
+// ForwardEquivalent and DefaultOptions both go through it, so the
+// documented defaults cannot drift from the ones actually applied (a
+// zero Seed really means seed 1, not a silently different stream).
+func (o Options) normalized() Options {
+	if o.Words <= 0 {
+		o.Words = 2
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
 
 type pinQueue struct {
 	driver   circuit.NodeID // PI or gate node driving the connection
@@ -52,12 +69,7 @@ type pinQueue struct {
 // cycle-for-cycle equivalent to c from a corresponding initial state.
 // The retiming must be a forward retiming: r(v) <= 0 for all v.
 func ForwardEquivalent(c *circuit.Circuit, g *graph.Graph, r graph.Retiming, opt Options) error {
-	if opt.Words <= 0 {
-		opt.Words = 2
-	}
-	if opt.Cycles <= 0 {
-		opt.Cycles = 32
-	}
+	opt = opt.normalized()
 	if err := g.CheckLegal(r); err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
+	"strconv"
 	"time"
 
 	"serretime/internal/benchfmt"
@@ -62,6 +64,16 @@ const (
 	// EngineForest is the paper's weighted regular forest.
 	EngineForest
 )
+
+func (e EngineKind) String() string {
+	switch e {
+	case EngineClosure:
+		return "closure"
+	case EngineForest:
+		return "forest"
+	}
+	return fmt.Sprintf("EngineKind(%d)", uint8(e))
+}
 
 // RetimeOptions configures Design.Retime.
 type RetimeOptions struct {
@@ -131,6 +143,82 @@ type RetimeOptions struct {
 	Workers int
 }
 
+// normalized applies the documented defaults (ε = 0.10, Ts/Th = 0/2,
+// KUnits = simulated vector count, analysis defaults) so the solver, the
+// canonical option hash, and the service cache all see one value per
+// configuration.
+func (o RetimeOptions) normalized() RetimeOptions {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.10
+	}
+	if o.Ts == 0 {
+		o.Ts = DefaultTs
+	}
+	if o.Th == 0 {
+		o.Th = DefaultTh
+	}
+	if o.Analysis.Workers == 0 {
+		o.Analysis.Workers = o.Workers
+	}
+	o.Analysis = o.Analysis.normalized()
+	if o.KUnits == 0 {
+		o.KUnits = 64 * o.Analysis.SignatureWords
+	}
+	return o
+}
+
+// validate rejects non-finite float parameters with typed errors
+// unwrapping to guard.ErrParse and folds negative zeros to +0, so
+// downstream float-keyed caches (the degradation chain's init memo, the
+// service's content-addressed result cache) never see a key that cannot
+// equal itself (NaN) or two spellings of one value (±0). op names the
+// entry point for the error text.
+func (o *RetimeOptions) validate(op string) error {
+	for _, f := range []struct {
+		name string
+		v    *float64
+	}{
+		{"Epsilon", &o.Epsilon},
+		{"Ts", &o.Ts},
+		{"Th", &o.Th},
+		{"AreaWeight", &o.AreaWeight},
+		{"RminOverride", &o.RminOverride},
+	} {
+		if math.IsNaN(*f.v) || math.IsInf(*f.v, 0) {
+			return guard.Optionf(op, f.name, "must be finite, got %v", *f.v)
+		}
+		if *f.v == 0 {
+			*f.v = 0 // fold -0 to +0: map keys compare bits via ==, hashes format the sign
+		}
+	}
+	return nil
+}
+
+// canonFloat renders a float for canonical keys: shortest round-trip
+// form, with -0 folded into +0.
+func canonFloat(v float64) string {
+	if v == 0 {
+		v = 0
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// CanonicalKey returns a deterministic textual encoding of every option
+// that can influence the retiming result, with defaults applied — two
+// option values with equal keys request the same computation. Fields
+// documented result-invariant are excluded: Workers (bit-identical for
+// every count, DESIGN.md §11), Recorder, Verify, CheckLabels and
+// FullLabelRecompute (check/debug modes that can only turn a result into
+// an error, never change it). The service's content-addressed cache
+// hashes this string next to the normalized netlist.
+func (o RetimeOptions) CanonicalKey() string {
+	n := o.normalized()
+	return fmt.Sprintf("alg=%s engine=%s eps=%s ts=%s th=%s area=%s rmin=%s kunits=%d single=%t literal=%t stall=%d %s",
+		n.Algorithm, n.Engine, canonFloat(n.Epsilon), canonFloat(n.Ts), canonFloat(n.Th),
+		canonFloat(n.AreaWeight), canonFloat(n.RminOverride), n.KUnits,
+		n.SingleViolation, n.LiteralGains, n.StallSteps, n.Analysis.CanonicalKey())
+}
+
 // RetimeResult reports a full retiming run.
 type RetimeResult struct {
 	// Algorithm echoes the objective.
@@ -190,18 +278,10 @@ func (d *Design) RetimeCtx(ctx context.Context, opt RetimeOptions) (*RetimeResul
 }
 
 func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, error) {
-	if opt.Epsilon == 0 {
-		opt.Epsilon = 0.10
+	if err := opt.validate("serretime.Retime"); err != nil {
+		return nil, err
 	}
-	if opt.Ts == 0 {
-		opt.Ts = DefaultTs
-	}
-	if opt.Th == 0 {
-		opt.Th = DefaultTh
-	}
-	if opt.Analysis.Workers == 0 {
-		opt.Analysis.Workers = opt.Workers
-	}
+	opt = opt.normalized()
 	rec := telemetry.OrNop(opt.Recorder)
 
 	rec.SpanStart(telemetry.PhaseObs)
@@ -218,9 +298,6 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 
 	rec.SpanStart(telemetry.PhaseGains)
 	k := opt.KUnits
-	if k == 0 {
-		k = 64 * opt.Analysis.normalized().SignatureWords
-	}
 	gainsFn := core.Gains
 	if opt.LiteralGains {
 		gainsFn = core.GainsLiteral

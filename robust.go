@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -152,7 +153,39 @@ type RobustResult struct {
 // identity — or when the caller's ctx is done (errors unwrapping to
 // guard.ErrTimeout are not degraded past: the caller's deadline is
 // global).
+// CanonicalKey extends RetimeOptions.CanonicalKey with the chain-level
+// knobs that can change which tier answers (timeout, retries, relax
+// factor), with defaults applied. Two RobustOptions with equal keys
+// request the same computation.
+func (o RobustOptions) CanonicalKey() string {
+	relax := o.RelaxFactor
+	if !(relax > 1) {
+		relax = 2
+	}
+	return fmt.Sprintf("%s timeout=%s retries=%d relax=%s",
+		o.RetimeOptions.CanonicalKey(), o.Timeout, o.Retries, canonFloat(relax))
+}
+
+// validate extends RetimeOptions.validate to the chain-level floats.
+func (o *RobustOptions) validate(op string) error {
+	if err := o.RetimeOptions.validate(op); err != nil {
+		return err
+	}
+	if math.IsNaN(o.RelaxFactor) || math.IsInf(o.RelaxFactor, 0) {
+		return guard.Optionf(op, "RelaxFactor", "must be finite, got %v", o.RelaxFactor)
+	}
+	return nil
+}
+
 func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustResult, error) {
+	// Validate and normalize parameters before anything is derived from
+	// them: the init memo below keys on raw (Ts, Th, Epsilon) floats, so a
+	// NaN (never equal to itself under map lookup) or a -0 (hashes apart
+	// from +0 in the canonical key) would silently defeat the memo and the
+	// service cache rather than fail.
+	if err := opt.validate("serretime.RetimeRobust"); err != nil {
+		return nil, err
+	}
 	if opt.RelaxFactor <= 1 {
 		opt.RelaxFactor = 2
 	}

@@ -21,7 +21,10 @@ package serretime
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"serretime/internal/benchfmt"
@@ -139,16 +142,93 @@ func (d *Design) WriteVerilog(w io.Writer) error {
 	})
 }
 
-// Load reads a netlist, picking the format from the file extension
-// (.blif = BLIF, .v = structural Verilog, anything else = ISCAS89 .bench).
-func Load(path string) (*Design, error) {
-	switch {
-	case strings.HasSuffix(path, ".blif"):
-		return LoadBLIF(path)
-	case strings.HasSuffix(path, ".v"):
-		return LoadVerilog(path)
+// Format identifies a netlist syntax.
+type Format uint8
+
+const (
+	// FormatBench is the ISCAS89 .bench syntax.
+	FormatBench Format = iota
+	// FormatBLIF is structural BLIF.
+	FormatBLIF
+	// FormatVerilog is gate-level structural Verilog.
+	FormatVerilog
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatBench:
+		return "bench"
+	case FormatBLIF:
+		return "blif"
+	case FormatVerilog:
+		return "verilog"
 	}
-	return LoadBench(path)
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// UnknownFormatError reports a netlist path whose extension names no
+// supported format. It unwraps to guard.ErrParse: an unrecognized
+// extension is malformed input, not a reason to feed Verilog to the
+// bench parser and report its confusion instead.
+type UnknownFormatError struct {
+	Path string
+}
+
+func (e *UnknownFormatError) Error() string {
+	return fmt.Sprintf("serretime: unknown netlist format %q (want .bench, .blif or .v)", e.Path)
+}
+
+func (e *UnknownFormatError) Unwrap() error { return guard.ErrParse }
+
+// FormatOf sniffs the netlist format from a path's extension,
+// case-insensitively (DESIGN.BLIF and top.V are their lowercase
+// siblings). Unrecognized extensions return a *UnknownFormatError; the
+// caller decides whether to fall back, the sniffer never guesses.
+func FormatOf(path string) (Format, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bench":
+		return FormatBench, nil
+	case ".blif":
+		return FormatBLIF, nil
+	case ".v":
+		return FormatVerilog, nil
+	}
+	return 0, &UnknownFormatError{Path: path}
+}
+
+// Load reads a netlist, picking the format from the file extension via
+// FormatOf (.bench, .blif, .v, any case). It routes through Parse so
+// the design's name is derived uniformly: the base name with its
+// extension stripped, whatever the extension's case.
+func Load(path string) (*Design, error) {
+	if _, err := FormatOf(path); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, path)
+}
+
+// Parse reads a netlist from r, picking the format from name's extension
+// via FormatOf; the design is named after name's base without the
+// extension. This is the reader-side Load — the service's content
+// sniffing goes through it.
+func Parse(r io.Reader, name string) (*Design, error) {
+	f, err := FormatOf(name)
+	if err != nil {
+		return nil, err
+	}
+	base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+	switch f {
+	case FormatBLIF:
+		return ParseBLIF(r, base)
+	case FormatVerilog:
+		return ParseVerilog(r, base)
+	}
+	return ParseBench(r, base)
 }
 
 // CircuitSpec prescribes a synthetic benchmark circuit (see the paper's
@@ -265,6 +345,16 @@ func (o AnalysisOptions) normalized() AnalysisOptions {
 		o.Seed = 1
 	}
 	return o
+}
+
+// CanonicalKey returns a deterministic textual encoding of the analysis
+// options that affect results, with defaults applied — two values with
+// equal keys request the same analysis. Workers is excluded: results are
+// bit-identical for every worker count (DESIGN.md §11).
+func (o AnalysisOptions) CanonicalKey() string {
+	n := o.normalized()
+	return fmt.Sprintf("frames=%d words=%d seed=%d maxint=%d",
+		n.Frames, n.SignatureWords, n.Seed, n.MaxIntervals)
 }
 
 // ensureObs computes (or reuses) the observability analysis of the
