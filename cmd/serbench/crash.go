@@ -1,0 +1,278 @@
+package main
+
+// serbench -crashbin: a kill-recover chaos harness for the serretimed
+// daemon's persistent store. The harness runs the daemon through two
+// lives on one data directory:
+//
+//	life 1: boot a child serretimed on -crashdir, burst the sweep's
+//	        payloads at it, download every confirmed result, then
+//	        SIGKILL the child mid-burst — no drain, no WAL close.
+//	life 2: reboot on the same directory, resubmit every payload, and
+//	        demand each confirmed pre-crash job answers disposition
+//	        "cached" with the byte-identical retimed netlist. The
+//	        recovery counters from /healthz are printed, and /metrics
+//	        is snapshotted to -crashmetrics for CI artifacts.
+//
+// Exit status: 0 = every pre-crash result survived the crash verbatim,
+// 1 = a lost, re-solved or differing result, 2 = harness/usage error.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// child is one serretimed process the harness controls.
+type child struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startChild boots the daemon on a kernel-chosen port and waits for its
+// "listening on" line. The child's stderr (recovery and degradation
+// logs) streams through to the harness's stderr.
+func startChild(ctx context.Context, cfg config, stderr io.Writer) (*child, error) {
+	cmd := exec.Command(cfg.crashBin, "-addr", "127.0.0.1:0", "-data-dir", cfg.crashDir)
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(stderr, line)
+			if rest, ok := strings.CutPrefix(line, "serretimed: listening on "); ok {
+				addr <- strings.TrimSpace(rest)
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+			fmt.Fprintln(stderr, sc.Text())
+		}
+		close(addr)
+	}()
+	select {
+	case a, ok := <-addr:
+		if !ok || a == "" {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+			return nil, fmt.Errorf("daemon exited before listening")
+		}
+		return &child{cmd: cmd, base: "http://" + a}, nil
+	case <-ctx.Done():
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		return nil, fmt.Errorf("daemon never announced its address: %w", ctx.Err())
+	}
+}
+
+// kill SIGKILLs the child: the crash under test. No drain, no close —
+// whatever the WAL holds is all the next life gets.
+func (c *child) kill() {
+	_ = c.cmd.Process.Signal(syscall.SIGKILL)
+	_, _ = c.cmd.Process.Wait()
+}
+
+// runCrash is the -crashbin entry point.
+func runCrash(cfg config, stdout, stderr io.Writer) int {
+	payloads, err := servePayloads(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: crash: %v\n", err)
+		return 2
+	}
+	if cfg.crashDir == "" {
+		dir, err := os.MkdirTemp("", "serbench-crash-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: crash: %v\n", err)
+			return 2
+		}
+		defer os.RemoveAll(dir)
+		cfg.crashDir = dir
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.serveWait)
+	defer cancel()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Life 1: confirm one result per payload, with the rest of the burst
+	// in flight around the kill.
+	c1, err := startChild(ctx, cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: crash: life 1: %v\n", err)
+		return 2
+	}
+	defer c1.kill()
+	fmt.Fprintf(stdout, "crash harness: life 1 on %s (data dir %s)\n", c1.base, cfg.crashDir)
+
+	want := make([][]byte, len(payloads))
+	errs := make([]error, len(payloads))
+	var wg sync.WaitGroup
+	for i, p := range payloads {
+		wg.Add(1)
+		go func(i int, p payload) {
+			defer wg.Done()
+			msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c1.base, p.name), p.body)
+			if err == nil && msg.Status != "done" && msg.Status != "failed" {
+				msg, err = pollJob(ctx, client, c1.base, msg.ID, cfg.pollInterval)
+			}
+			if err == nil && msg.Status == "failed" {
+				err = fmt.Errorf("job failed (%s): %s", msg.ErrorClass, msg.Error)
+			}
+			if err == nil {
+				want[i], err = fetchResult(ctx, client, c1.base, msg.ID)
+			}
+			errs[i] = err
+		}(i, p)
+	}
+	// Extra burst pressure: fire-and-forget resubmissions that are still
+	// in flight when the SIGKILL lands.
+	extraCtx, extraCancel := context.WithCancel(ctx)
+	var extra sync.WaitGroup
+	for i := len(payloads); i < cfg.burst; i++ {
+		extra.Add(1)
+		go func(p payload) {
+			defer extra.Done()
+			_, _, _ = submitOne(extraCtx, client, submitURLAt(cfg, c1.base, p.name), p.body)
+		}(payloads[i%len(payloads)])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			extraCancel()
+			fmt.Fprintf(stderr, "serbench: crash: life 1: %s: %v\n", payloads[i].name, err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stdout, "crash harness: %d payload(s) confirmed done, sending SIGKILL\n", len(payloads))
+	c1.kill()
+	extraCancel()
+	extra.Wait()
+
+	// Life 2: same directory. Every confirmed job must come back as a
+	// cache hit with identical bytes — a re-solve would also be a bug,
+	// because it means the store lost a journaled result.
+	c2, err := startChild(ctx, cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: crash: life 2: %v\n", err)
+		return 2
+	}
+	defer c2.kill()
+	fmt.Fprintf(stdout, "crash harness: life 2 on %s\n", c2.base)
+
+	var cached, lost, differ int
+	for i, p := range payloads {
+		msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c2.base, p.name), p.body)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: crash: life 2: %s: %v\n", p.name, err)
+			return 2
+		}
+		if msg.Disposition != "cached" {
+			lost++
+			fmt.Fprintf(stderr, "serbench: crash: %s: disposition %q after recovery, want cached\n", p.name, msg.Disposition)
+			continue
+		}
+		got, err := fetchResult(ctx, client, c2.base, msg.ID)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: crash: life 2: %s: %v\n", p.name, err)
+			return 2
+		}
+		if !bytes.Equal(got, want[i]) {
+			differ++
+			fmt.Fprintf(stderr, "serbench: crash: %s: recovered result differs from pre-crash bytes\n", p.name)
+			continue
+		}
+		cached++
+	}
+
+	health := crashHealth(ctx, client, c2.base, stderr)
+	if cfg.crashMetrics != "" {
+		if err := snapshotMetrics(ctx, client, c2.base, cfg.crashMetrics); err != nil {
+			fmt.Fprintf(stderr, "serbench: crash: metrics snapshot: %v\n", err)
+			return 2
+		}
+	}
+
+	fmt.Fprintf(stdout, "crash harness summary\n")
+	fmt.Fprintf(stdout, "  payloads           %d (%s)\n", len(payloads), payloadNames(payloads))
+	fmt.Fprintf(stdout, "  cached after crash %d\n", cached)
+	fmt.Fprintf(stdout, "  lost (re-solved)   %d\n", lost)
+	fmt.Fprintf(stdout, "  byte mismatches    %d\n", differ)
+	fmt.Fprintf(stdout, "  recovered finished %d\n", health.RecoveredFinished)
+	fmt.Fprintf(stdout, "  recovered requeued %d\n", health.RecoveredRequeued)
+	fmt.Fprintf(stdout, "  quarantined        %d\n", health.Quarantined)
+	if lost > 0 || differ > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "crash harness: all %d pre-crash result(s) survived the kill byte-identically\n", cached)
+	return 0
+}
+
+// submitURLAt is submitURL against an explicit base URL (the harness
+// talks to children on kernel-chosen ports, not cfg.serveURL).
+func submitURLAt(cfg config, base, name string) string {
+	cfg.serveURL = base
+	return submitURL(cfg, name)
+}
+
+// crashHealthMsg is the slice of /healthz the harness reports.
+type crashHealthMsg struct {
+	StoreMode         string `json:"store_mode"`
+	RecoveredFinished int    `json:"recovered_finished"`
+	RecoveredRequeued int    `json:"recovered_requeued"`
+	Quarantined       int    `json:"quarantined"`
+}
+
+func crashHealth(ctx context.Context, client *http.Client, base string, stderr io.Writer) crashHealthMsg {
+	var h crashHealthMsg
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return h
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: crash: healthz: %v\n", err)
+		return h
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(data, &h)
+	return h
+}
+
+// snapshotMetrics downloads /metrics into a file, for CI artifacts.
+func snapshotMetrics(ctx context.Context, client *http.Client, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

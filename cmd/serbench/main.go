@@ -36,6 +36,14 @@
 //	         [-timeout D] [-retries N] [-stallsteps N] [-faultinject names]
 //	         [-trace out.jsonl] [-metrics] [-checklabels]
 //	         [-cpuprofile f] [-memprofile f]
+//
+// Two client modes replace the in-process sweep: -serve bursts the
+// payload set at a running serretimed and verifies its caching and
+// determinism promises (serve.go), and -crashbin runs a kill-recover
+// chaos harness — boot a child daemon on a data directory, burst,
+// SIGKILL it mid-burst, reboot on the same directory, and demand every
+// confirmed pre-crash result is served as a byte-identical cache hit
+// (crash.go).
 package main
 
 import (
@@ -113,6 +121,11 @@ type config struct {
 	burst        int
 	pollInterval time.Duration
 	serveWait    time.Duration
+
+	// -crashbin chaos-harness mode (see crash.go)
+	crashBin     string
+	crashDir     string
+	crashMetrics string
 }
 
 func main() {
@@ -156,8 +169,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.burst, "burst", 64, "with -serve, concurrent submissions in the burst")
 	fs.DurationVar(&cfg.pollInterval, "poll", 200*time.Millisecond, "with -serve, job status poll interval")
 	fs.DurationVar(&cfg.serveWait, "servewait", 10*time.Minute, "with -serve, overall client deadline for the burst")
+	fs.StringVar(&cfg.crashBin, "crashbin", "", "chaos-harness mode: kill-recover test this serretimed binary instead of sweeping in-process")
+	fs.StringVar(&cfg.crashDir, "crashdir", "", "with -crashbin, the child daemon's -data-dir (default: a temp dir, removed afterwards)")
+	fs.StringVar(&cfg.crashMetrics, "crashmetrics", "", "with -crashbin, snapshot the post-recovery /metrics page to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if cfg.crashBin != "" {
+		return runCrash(cfg, stdout, stderr)
 	}
 	if cfg.serveURL != "" {
 		return runServe(cfg, stdout, stderr)

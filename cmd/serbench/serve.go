@@ -12,9 +12,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"path/filepath"
@@ -26,6 +28,36 @@ import (
 	"serretime"
 	"serretime/internal/gen"
 )
+
+// backoff yields capped, jittered exponential waits for retry loops with
+// no explicit Retry-After hint: 100ms doubling to a 2s cap, each wait
+// drawn from [d/2, 3d/2) so a burst of blocked clients doesn't retry in
+// lockstep against a server that just shed them all at once.
+type backoff struct {
+	d time.Duration
+}
+
+func (b *backoff) next() time.Duration {
+	switch {
+	case b.d == 0:
+		b.d = 100 * time.Millisecond
+	case b.d < 2*time.Second:
+		b.d = min(b.d*2, 2*time.Second)
+	}
+	return b.d/2 + time.Duration(rand.Int63n(int64(b.d)))
+}
+
+// sleepCtx waits d or until the context ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // findTableIScale mirrors the -scale auto policy of the in-process
 // sweep: shrink each circuit to at most autoCap gates.
@@ -128,14 +160,22 @@ func submitURL(cfg config, name string) string {
 	return strings.TrimRight(cfg.serveURL, "/") + "/v1/retime?" + q.Encode()
 }
 
-// submitOne POSTs a payload, retrying 429 backpressure responses after
-// the server's Retry-After hint until the deadline. A 429 is not a
-// dropped job — it is the queue bound working; the client's job is to
-// keep offering the work.
-func submitOne(client *http.Client, u string, body []byte, deadline time.Time) (jobMsg, int, error) {
+// submitOne POSTs a payload, retrying 429 backpressure responses until
+// the context ends. A 429 is not a dropped job — it is the queue bound
+// working; the client's job is to keep offering the work. The server's
+// Retry-After hint is honored when present; otherwise the retry waits
+// back off exponentially with jitter. Every wait aborts promptly on
+// context cancellation instead of sleeping past the deadline.
+func submitOne(ctx context.Context, client *http.Client, u string, body []byte) (jobMsg, int, error) {
 	var retried429 int
+	var bo backoff
 	for {
-		resp, err := client.Post(u, "text/plain", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return jobMsg{}, retried429, err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := client.Do(req)
 		if err != nil {
 			return jobMsg{}, retried429, err
 		}
@@ -146,16 +186,15 @@ func submitOne(client *http.Client, u string, body []byte, deadline time.Time) (
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			retried429++
-			wait := time.Second
+			wait := bo.next()
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
 				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 					wait = time.Duration(secs) * time.Second
 				}
 			}
-			if time.Now().Add(wait).After(deadline) {
-				return jobMsg{}, retried429, fmt.Errorf("queue full until deadline")
+			if err := sleepCtx(ctx, wait); err != nil {
+				return jobMsg{}, retried429, fmt.Errorf("queue full until deadline: %w", err)
 			}
-			time.Sleep(wait)
 			continue
 		}
 		var msg jobMsg
@@ -169,11 +208,16 @@ func submitOne(client *http.Client, u string, body []byte, deadline time.Time) (
 	}
 }
 
-// pollJob polls a job's status until it reaches a terminal state.
-func pollJob(client *http.Client, base, id string, interval time.Duration, deadline time.Time) (jobMsg, error) {
+// pollJob polls a job's status until it reaches a terminal state or the
+// context ends.
+func pollJob(ctx context.Context, client *http.Client, base, id string, interval time.Duration) (jobMsg, error) {
 	u := strings.TrimRight(base, "/") + "/v1/jobs/" + id
 	for {
-		resp, err := client.Get(u)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return jobMsg{}, err
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			return jobMsg{}, err
 		}
@@ -190,16 +234,19 @@ func pollJob(client *http.Client, base, id string, interval time.Duration, deadl
 		case "done", "failed":
 			return msg, nil
 		}
-		if time.Now().After(deadline) {
+		if err := sleepCtx(ctx, interval); err != nil {
 			return msg, fmt.Errorf("job %s still %q at deadline", id, msg.Status)
 		}
-		time.Sleep(interval)
 	}
 }
 
 // fetchResult downloads a finished job's retimed netlist.
-func fetchResult(client *http.Client, base, id string) ([]byte, error) {
-	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/jobs/" + id + "/result")
+func fetchResult(ctx context.Context, client *http.Client, base, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +274,8 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 		cfg.burst = len(payloads)
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
-	deadline := time.Now().Add(cfg.serveWait)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.serveWait)
+	defer cancel()
 
 	type outcome struct {
 		payload    int
@@ -246,7 +294,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			p := payloads[i%len(payloads)]
 			o := &outcomes[i]
 			o.payload = i % len(payloads)
-			msg, retried, err := submitOne(client, submitURL(cfg, p.name), p.body, deadline)
+			msg, retried, err := submitOne(ctx, client, submitURL(cfg, p.name), p.body)
 			o.retried429 = retried
 			if err != nil {
 				o.err = err
@@ -256,7 +304,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			// submit response carries it, so hold on to it across polling.
 			disp := msg.Disposition
 			if msg.Status != "done" && msg.Status != "failed" {
-				msg, err = pollJob(client, cfg.serveURL, msg.ID, cfg.pollInterval, deadline)
+				msg, err = pollJob(ctx, client, cfg.serveURL, msg.ID, cfg.pollInterval)
 				if err != nil {
 					o.err = err
 					return
@@ -268,7 +316,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 				o.err = fmt.Errorf("job failed (%s): %s", msg.ErrorClass, msg.Error)
 				return
 			}
-			o.result, o.err = fetchResult(client, cfg.serveURL, msg.ID)
+			o.result, o.err = fetchResult(ctx, client, cfg.serveURL, msg.ID)
 		}(i)
 	}
 	wg.Wait()

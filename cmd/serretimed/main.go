@@ -20,10 +20,23 @@
 // cancelled through their context, queued jobs are failed, and the JSONL
 // trace (when -trace is set) is flushed before exit.
 //
+// With -data-dir the cache survives restarts — crash included: every job
+// transition is journaled to a write-ahead log and every payload written
+// atomically with a checksum (internal/store). On boot the daemon
+// replays the WAL: finished jobs are re-offered as cache hits (corrupt
+// payloads are quarantined, never served), jobs that were queued or
+// running when the process died are re-enqueued and solved again. The
+// -fsync policy bounds how much journaled state a power cut can lose. A
+// store write failure never fails a solve: the daemon logs once, flips
+// /healthz store_mode to "memory-degraded", and keeps serving from
+// memory.
+//
 // Usage:
 //
 //	serretimed [-addr :8080] [-queue 64] [-jobs N] [-solve-workers N]
 //	           [-timeout 5m] [-retries N] [-cache N] [-trace out.jsonl]
+//	           [-data-dir DIR] [-fsync always|interval|never]
+//	           [-fsync-interval 100ms]
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"time"
 
 	"serretime/internal/service"
+	"serretime/internal/store"
 	"serretime/internal/telemetry"
 )
 
@@ -57,6 +71,9 @@ func run(args []string) int {
 	cacheSize := fs.Int("cache", 4096, "retained finished jobs (content-addressed cache entries)")
 	tracePath := fs.String("trace", "", "stream a JSONL telemetry trace of every solve")
 	drainWait := fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	dataDir := fs.String("data-dir", "", "persist jobs and results here; replayed on boot (empty = memory-only)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL durability: always, interval or never")
+	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "max un-synced window under -fsync interval")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,7 +94,7 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	svc := service.New(context.Background(), service.Config{
+	cfg := service.Config{
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		SolveWorkers: *solveWorkers,
@@ -85,7 +102,46 @@ func run(args []string) int {
 		Retries:      *retries,
 		MaxJobs:      *cacheSize,
 		Recorder:     rec,
-	})
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	// Open the persistent store (when configured) and replay its WAL
+	// before the listener comes up, so the first request already sees
+	// the restored cache.
+	var recovered []store.RecoveredJob
+	var recStats store.Stats
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serretimed: %v\n", err)
+			return 2
+		}
+		disk, err := store.Open(store.Options{Dir: *dataDir, Sync: policy, SyncEvery: *fsyncEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serretimed: %v\n", err)
+			return 1
+		}
+		recovered, recStats, err = disk.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serretimed: recovery: %v\n", err)
+			return 1
+		}
+		cfg.Store = disk
+		fmt.Printf("serretimed: store: %s (fsync=%s)\n", disk.Dir(), policy)
+	}
+
+	svc := service.New(context.Background(), cfg)
+	if cfg.Store != nil {
+		sum := svc.Restore(recovered, recStats)
+		fmt.Printf("serretimed: recovery: %d finished jobs restored, %d requeued, %d dropped, %d quarantined\n",
+			sum.Finished, sum.Requeued, sum.Dropped, sum.Quarantined)
+		if recStats.CorruptRecords > 0 || recStats.TruncatedTail {
+			fmt.Printf("serretimed: recovery: WAL damage absorbed: %d corrupt records, truncated tail=%v\n",
+				recStats.CorruptRecords, recStats.TruncatedTail)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)

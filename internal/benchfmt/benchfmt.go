@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"serretime/internal/circuit"
+	"serretime/internal/faultfs"
 	"serretime/internal/guard"
 )
 
@@ -62,13 +63,14 @@ var nameByFunc = map[circuit.Func]string{
 }
 
 // Parse reads a .bench netlist. The design name is taken from the first
-// "# name" comment if present, else left as the given fallback.
+// "# name: x" comment if present, else left as the given fallback.
 // Malformed input yields a *ParseError (guard.ErrParse), never a panic.
 func Parse(r io.Reader, fallbackName string) (c *circuit.Circuit, err error) {
 	b := circuit.NewBuilder(fallbackName)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
+	named := false
 	defer guard.RecoverParse("bench", &lineNo, &err)
 	for sc.Scan() {
 		lineNo++
@@ -77,6 +79,17 @@ func Parse(r io.Reader, fallbackName string) (c *circuit.Circuit, err error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
+			// A "# name: x" comment names the design (WriteBench emits
+			// one), overriding the filename-derived fallback: round-
+			// tripping must preserve names the filename cannot carry,
+			// e.g. "s13207/100". Ordinary comments stay cosmetic so they
+			// never fragment the service's content-addressed cache.
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line[1:]), "name:"); ok && !named {
+				if name := strings.TrimSpace(rest); name != "" {
+					b.SetName(name)
+					named = true
+				}
+			}
 			continue
 		}
 		if perr := parseLine(b, line); perr != nil {
@@ -183,7 +196,7 @@ func ParseFile(path string) (*circuit.Circuit, error) {
 // gates in node order.
 func Write(w io.Writer, c *circuit.Circuit) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# name: %s\n", c.Name)
 	pis, pos, gates, dffs := c.Counts()
 	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, %d flip-flops\n", pis, pos, gates, dffs)
 	for _, id := range c.PIs() {
@@ -210,15 +223,12 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	return bw.Flush()
 }
 
-// WriteFile writes the circuit to the given path in .bench syntax.
+// WriteFile writes the circuit to the given path in .bench syntax. The
+// write is atomic — content streams into a temp file in the target
+// directory which is renamed over the path — so a crash mid-write leaves
+// the old netlist intact, never a torn one.
 func WriteFile(path string, c *circuit.Circuit) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, c); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return faultfs.WriteAtomic(faultfs.OS(), path, 0o644, false, func(w io.Writer) error {
+		return Write(w, c)
+	})
 }

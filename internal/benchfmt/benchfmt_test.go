@@ -157,7 +157,7 @@ func TestWriteHeaderComment(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if !strings.HasPrefix(out, "# s27\n") {
+	if !strings.HasPrefix(out, "# name: s27\n") {
 		t.Fatalf("missing name header:\n%s", out)
 	}
 	if !strings.Contains(out, "INPUT(G0)") || !strings.Contains(out, "OUTPUT(G17)") {

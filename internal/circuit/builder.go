@@ -24,6 +24,10 @@ func NewBuilder(name string) *Builder {
 	return &Builder{name: name, seen: make(map[string]int)}
 }
 
+// SetName replaces the design name (parsers use it when the netlist text
+// itself carries a name that overrides the filename-derived fallback).
+func (b *Builder) SetName(name string) { b.name = name }
+
 // PI declares a primary input net.
 func (b *Builder) PI(name string) *Builder {
 	b.decls = append(b.decls, decl{name: name, kind: KindPI})

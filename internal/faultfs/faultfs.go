@@ -1,0 +1,462 @@
+// Package faultfs is an injectable filesystem layer for crash-safe
+// storage code. Production code talks to the small FS interface; OS()
+// passes straight through to the real filesystem, while Fault wraps any
+// FS with fault injection for tests: operations can be made to return
+// errors, writes can be torn short, and the whole filesystem can "crash"
+// — panic with a recognizable value — either at a named crash point or
+// after the Kth mutating operation, so a test can sweep every possible
+// crash instant of a scripted workload and prove each one recoverable.
+//
+// A crash is modeled as a panic carrying *Crash: the storage code under
+// test unwinds exactly as a SIGKILL would stop it mid-operation (no
+// deferred cleanup can repair on-disk state, because the filesystem is
+// dead afterwards — every later operation returns ErrCrashed). The test
+// recovers the panic, reopens the directory with a fresh FS, and checks
+// the recovery invariants.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// File is the writable-file surface storage code needs: write, fsync,
+// close. Reads go through FS.ReadFile.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the store. Every implementation must
+// be safe for concurrent use.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	// OpenFile opens path with os.OpenFile semantics (flag is the usual
+	// os.O_* mask).
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Stat(path string) (fs.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(path string) error
+	// Crashpoint marks a named crash site in storage code. The real
+	// filesystem ignores it; a Fault with the name armed panics there.
+	Crashpoint(name string)
+}
+
+// osFS is the passthrough implementation over the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Stat(path string) (fs.FileInfo, error)      { return os.Stat(path) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) Crashpoint(string)                          {}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+var tmpSeq atomic.Uint64
+
+// WriteAtomic writes path all-or-nothing: fn streams the content into a
+// hidden temp file in the same directory, which is then (optionally
+// fsynced and) renamed over path. A crash at any instant leaves either
+// the old content or the new content, never a torn file; on any error
+// the temp file is removed and path is untouched. sync additionally
+// fsyncs the file before the rename and the directory after it, making
+// the replacement itself durable.
+func WriteAtomic(fsys FS, path string, perm fs.FileMode, sync bool, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, fmt.Sprintf(".%s.tmp%d", filepath.Base(path), tmpSeq.Add(1)))
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fn(f); err != nil {
+		return fail(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	fsys.Crashpoint("faultfs.atomic.before-rename")
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if sync {
+		return fsys.SyncDir(dir)
+	}
+	return nil
+}
+
+// IsTemp reports whether a file name is a WriteAtomic temp file, so
+// recovery sweeps can delete orphans a crash left behind.
+func IsTemp(name string) bool {
+	return len(name) > 1 && name[0] == '.' && filepath.Ext(name) != "" &&
+		len(filepath.Ext(name)) > 4 && filepath.Ext(name)[:4] == ".tmp"
+}
+
+// Op names a filesystem operation class for fault-injection rules.
+type Op string
+
+const (
+	OpMkdir   Op = "mkdir"
+	OpOpen    Op = "open"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRead    Op = "read"
+	OpReadDir Op = "readdir"
+	OpStat    Op = "stat"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpSyncDir Op = "syncdir"
+)
+
+// mutating reports whether an operation can change on-disk state — only
+// these count toward the crash-after-K schedule, because a crash between
+// two reads is indistinguishable from a crash before the first.
+func (o Op) mutating() bool {
+	switch o {
+	case OpMkdir, OpOpen, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpSyncDir:
+		return true
+	}
+	return false
+}
+
+// Crash is the panic value of an injected filesystem crash.
+type Crash struct {
+	// Point is the named crash site, or "op" for a scheduled crash.
+	Point string
+	// Op and Path locate the operation that was executing.
+	Op   Op
+	Path string
+	// Seq is the index of the mutating operation that crashed.
+	Seq int
+}
+
+func (c *Crash) String() string {
+	return fmt.Sprintf("faultfs: injected crash at %s (op %d: %s %s)", c.Point, c.Seq, c.Op, c.Path)
+}
+
+// AsCrash extracts a *Crash from a recovered panic value, so tests can
+// tell an injected crash from a genuine bug.
+func AsCrash(r any) (*Crash, bool) {
+	c, ok := r.(*Crash)
+	return c, ok
+}
+
+// ErrCrashed is returned by every operation on a Fault filesystem after
+// an injected crash: the "process" is dead; nothing can be repaired.
+var ErrCrashed = fmt.Errorf("faultfs: filesystem crashed")
+
+// rule is one armed failure: the next Times matching operations return
+// Err (Times < 0 = forever).
+type rule struct {
+	op    Op
+	path  string // substring match, "" = any
+	err   error
+	times int
+}
+
+// Fault wraps an FS with fault injection. The zero value is not usable;
+// construct with NewFault. All methods are safe for concurrent use.
+type Fault struct {
+	inner FS
+
+	mu          sync.Mutex
+	ops         int // mutating operations performed so far
+	crashAt     int // crash when the crashAt'th mutating op starts; 0 = off
+	tornWrites  bool
+	dead        bool
+	rules       []rule
+	crashpoints map[string]bool
+}
+
+// NewFault wraps inner with fault injection. No faults are armed yet.
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: inner, crashpoints: make(map[string]bool)}
+}
+
+// FailOp arms an error: the next times operations of class op whose path
+// contains pathSubstr return err instead of running. times < 0 keeps the
+// rule armed forever.
+func (f *Fault) FailOp(op Op, pathSubstr string, err error, times int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rule{op: op, path: pathSubstr, err: err, times: times})
+}
+
+// CrashAt schedules a crash: the k'th mutating operation from now (1 =
+// the very next one) panics with *Crash instead of completing. When torn
+// writes are enabled and the k'th operation is a write, half the buffer
+// reaches the file first. k <= 0 cancels the schedule.
+func (f *Fault) CrashAt(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if k <= 0 {
+		f.crashAt = 0
+		return
+	}
+	f.crashAt = f.ops + k
+}
+
+// TornWrites makes scheduled crashes that land on a write persist a
+// prefix of the buffer first — the torn-write shape a real power cut
+// produces.
+func (f *Fault) TornWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornWrites = on
+}
+
+// ArmCrashpoint makes the named Crashpoint site panic with *Crash when
+// next visited.
+func (f *Fault) ArmCrashpoint(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashpoints[name] = true
+}
+
+// Ops returns the number of mutating operations performed so far —
+// sweep tests run a workload once to learn the schedule length, then
+// re-run it crashing at every k in [1, Ops()].
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Dead reports whether an injected crash has fired.
+func (f *Fault) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// begin gates one operation: it returns ErrCrashed on a dead filesystem,
+// a matching armed error, or — for mutating ops that hit the crash
+// schedule — a non-nil *Crash the caller must act on (tearing a write
+// first if asked to).
+func (f *Fault) begin(op Op, path string) (crash *Crash, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil, ErrCrashed
+	}
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.times == 0 || r.op != op {
+			continue
+		}
+		if r.path != "" && !contains(path, r.path) {
+			continue
+		}
+		if r.times > 0 {
+			r.times--
+		}
+		return nil, r.err
+	}
+	if !op.mutating() {
+		return nil, nil
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.dead = true
+		return &Crash{Point: "op", Op: op, Path: path, Seq: f.ops}, nil
+	}
+	return nil, nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	crash, err := f.begin(OpMkdir, path)
+	if err != nil {
+		return err
+	}
+	if crash != nil {
+		panic(crash)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	crash, err := f.begin(OpOpen, path)
+	if err != nil {
+		return nil, err
+	}
+	if crash != nil {
+		panic(crash)
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fault: f, inner: inner, path: path}, nil
+}
+
+func (f *Fault) ReadFile(path string) ([]byte, error) {
+	if _, err := f.begin(OpRead, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *Fault) ReadDir(path string) ([]fs.DirEntry, error) {
+	if _, err := f.begin(OpReadDir, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *Fault) Stat(path string) (fs.FileInfo, error) {
+	if _, err := f.begin(OpStat, path); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(path)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	crash, err := f.begin(OpRename, oldpath)
+	if err != nil {
+		return err
+	}
+	if crash != nil {
+		panic(crash)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(path string) error {
+	crash, err := f.begin(OpRemove, path)
+	if err != nil {
+		return err
+	}
+	if crash != nil {
+		panic(crash)
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *Fault) SyncDir(path string) error {
+	crash, err := f.begin(OpSyncDir, path)
+	if err != nil {
+		return err
+	}
+	if crash != nil {
+		panic(crash)
+	}
+	return f.inner.SyncDir(path)
+}
+
+func (f *Fault) Crashpoint(name string) {
+	f.mu.Lock()
+	armed := f.crashpoints[name]
+	if armed {
+		delete(f.crashpoints, name)
+		f.dead = true
+	}
+	seq := f.ops
+	f.mu.Unlock()
+	if armed {
+		panic(&Crash{Point: name, Seq: seq})
+	}
+	f.inner.Crashpoint(name)
+}
+
+// faultFile threads writes/sync/close of an open file back through the
+// Fault's gate, so crashes and errors can strike mid-file.
+type faultFile struct {
+	fault *Fault
+	inner File
+	path  string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	crash, err := ff.fault.begin(OpWrite, ff.path)
+	if err != nil {
+		return 0, err
+	}
+	if crash != nil {
+		ff.fault.mu.Lock()
+		torn := ff.fault.tornWrites
+		ff.fault.mu.Unlock()
+		if torn && len(p) > 1 {
+			// A power cut mid-write persists a prefix: write half,
+			// then die. The recovery code must treat the tail as
+			// garbage.
+			_, _ = ff.inner.Write(p[:len(p)/2])
+		}
+		_ = ff.inner.Close()
+		panic(crash)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	crash, err := ff.fault.begin(OpSync, ff.path)
+	if err != nil {
+		return err
+	}
+	if crash != nil {
+		_ = ff.inner.Close()
+		panic(crash)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	crash, err := ff.fault.begin(OpClose, ff.path)
+	if err != nil {
+		_ = ff.inner.Close() // the handle is still real; release it
+		return err
+	}
+	if crash != nil {
+		_ = ff.inner.Close()
+		panic(crash)
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,189 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeWorkload is a tiny storage-like workload: an atomic write of a
+// payload plus a journal append. It returns the number of mutating fs
+// operations it performs when nothing is injected.
+func writeWorkload(fsys FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := WriteAtomic(fsys, filepath.Join(dir, "payload"), 0o644, true, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload-bytes"))
+		return err
+	}); err != nil {
+		return err
+	}
+	f, err := fsys.OpenFile(filepath.Join(dir, "journal"), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("record\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestWriteAtomicNeverTearsTarget(t *testing.T) {
+	base := t.TempDir()
+
+	// Learn the schedule length with no faults armed.
+	probe := NewFault(OS())
+	if err := writeWorkload(probe, filepath.Join(base, "probe")); err != nil {
+		t.Fatal(err)
+	}
+	n := probe.Ops()
+	if n < 5 {
+		t.Fatalf("workload performed only %d mutating ops", n)
+	}
+
+	// Crash at every instant; the payload file must always be absent or
+	// complete — never a prefix.
+	for k := 1; k <= n; k++ {
+		dir := filepath.Join(base, fmt.Sprintf("crash%d", k))
+		fault := NewFault(OS())
+		fault.TornWrites(true)
+		fault.CrashAt(k)
+		crashed := func() (crashed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := AsCrash(r); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			if err := writeWorkload(fault, dir); err != nil {
+				t.Fatalf("k=%d: unexpected error (crashes are panics): %v", k, err)
+			}
+			return false
+		}()
+		if !crashed {
+			t.Fatalf("k=%d: crash did not fire", k)
+		}
+		if !fault.Dead() {
+			t.Fatalf("k=%d: filesystem not dead after crash", k)
+		}
+		if data, err := os.ReadFile(filepath.Join(dir, "payload")); err == nil {
+			if string(data) != "payload-bytes" {
+				t.Fatalf("k=%d: torn payload %q survived the crash", k, data)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestFaultDeadAfterCrash(t *testing.T) {
+	fault := NewFault(OS())
+	fault.CrashAt(1)
+	func() {
+		defer func() { recover() }()
+		_ = fault.MkdirAll(filepath.Join(t.TempDir(), "d"), 0o755)
+	}()
+	if err := fault.MkdirAll(filepath.Join(t.TempDir(), "e"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: want ErrCrashed, got %v", err)
+	}
+	if _, err := fault.ReadFile("x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: want ErrCrashed, got %v", err)
+	}
+}
+
+func TestFailOpInjectsErrors(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFault(OS())
+	boom := errors.New("boom")
+	fault.FailOp(OpWrite, "journal", boom, 1)
+
+	f, err := fault.OpenFile(filepath.Join(dir, "journal"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("first write: want injected error, got %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("second write (rule exhausted): %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path filter: other files are untouched.
+	fault.FailOp(OpOpen, "journal", boom, -1)
+	if _, err := fault.OpenFile(filepath.Join(dir, "other"), os.O_WRONLY|os.O_CREATE, 0o644); err != nil {
+		t.Fatalf("unmatched path failed: %v", err)
+	}
+	if _, err := fault.OpenFile(filepath.Join(dir, "journal"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, boom) {
+		t.Fatalf("matched path: want injected error, got %v", err)
+	}
+}
+
+func TestCrashpoint(t *testing.T) {
+	fault := NewFault(OS())
+	fault.Crashpoint("not-armed") // no-op
+	fault.ArmCrashpoint("store.test.site")
+	var got *Crash
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				got, _ = AsCrash(r)
+			}
+		}()
+		fault.Crashpoint("store.test.site")
+	}()
+	if got == nil || got.Point != "store.test.site" {
+		t.Fatalf("crashpoint did not fire: %+v", got)
+	}
+	if !fault.Dead() {
+		t.Fatal("filesystem alive after crashpoint")
+	}
+}
+
+func TestWriteAtomicCleansTempOnError(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFault(OS())
+	boom := errors.New("disk full")
+	fault.FailOp(OpWrite, "target", boom, 1)
+	err := WriteAtomic(fault, filepath.Join(dir, "target"), 0o644, false, func(w io.Writer) error {
+		_, err := w.Write([]byte("data"))
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("leftover file %q after failed atomic write", e.Name())
+	}
+}
+
+func TestIsTemp(t *testing.T) {
+	for name, want := range map[string]bool{
+		".wal.log.tmp1":  true,
+		".payload.tmp42": true,
+		"wal.log":        false,
+		"payload":        false,
+		".hidden":        false,
+	} {
+		if IsTemp(name) != want {
+			t.Errorf("IsTemp(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}

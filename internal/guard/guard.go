@@ -35,6 +35,11 @@ var (
 	ErrTimeout    = errors.New("timeout")
 	ErrStalled    = errors.New("stalled")
 	ErrInternal   = errors.New("internal fault")
+	// ErrStore marks a persistence-layer failure (WAL append, payload
+	// write, recovery replay). A store fault is environmental, not a user
+	// error and not a solver bug: the service reacts by degrading to
+	// memory-only operation, never by failing the solve.
+	ErrStore = errors.New("store fault")
 )
 
 // ParseError reports malformed input with its position. Line and Col are
@@ -129,8 +134,53 @@ func Classify(err error) string {
 		return "stalled"
 	case errors.Is(err, ErrInternal):
 		return "internal"
+	case errors.Is(err, ErrStore):
+		return "store"
 	}
 	return "other"
+}
+
+// StoreError reports a failed persistence operation: Op names the store
+// operation ("wal.append", "result.put", "recover"), Path the file
+// involved when known, and Err the underlying cause. It unwraps to both
+// ErrStore (for Classify and metrics labels) and the cause (so callers
+// can still errors.Is for os-level sentinels).
+type StoreError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *StoreError) Error() string {
+	switch {
+	case e.Path != "" && e.Err != nil:
+		return fmt.Sprintf("store: %s %s: %v", e.Op, e.Path, e.Err)
+	case e.Err != nil:
+		return fmt.Sprintf("store: %s: %v", e.Op, e.Err)
+	case e.Path != "":
+		return fmt.Sprintf("store: %s %s", e.Op, e.Path)
+	}
+	return fmt.Sprintf("store: %s", e.Op)
+}
+
+func (e *StoreError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrStore}
+	}
+	return []error{ErrStore, e.Err}
+}
+
+// Storef wraps err as a *StoreError unless it already is one (so layered
+// store code does not stack prefixes). A nil err returns nil.
+func Storef(op, path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StoreError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StoreError{Op: op, Path: path, Err: err}
 }
 
 // InternalError wraps a recovered panic. Value is the recovered value and

@@ -153,3 +153,29 @@ func TestFailpoint(t *testing.T) {
 	DisarmFailpoint("guard.test")
 	Failpoint("guard.test") // disarmed again: no-op
 }
+
+func TestStoreErrorClassification(t *testing.T) {
+	cause := errors.New("no space left on device")
+	err := Storef("wal.append", "/data/wal.log", cause)
+	if !errors.Is(err, ErrStore) {
+		t.Fatal("StoreError does not unwrap to ErrStore")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("StoreError does not unwrap to its cause")
+	}
+	if got := Classify(err); got != "store" {
+		t.Fatalf("Classify(StoreError) = %q, want \"store\"", got)
+	}
+	// Wrapping an existing StoreError must not stack prefixes.
+	double := Storef("outer", "", err)
+	if double != err {
+		t.Fatalf("Storef re-wrapped a StoreError: %v", double)
+	}
+	if Storef("op", "p", nil) != nil {
+		t.Fatal("Storef(nil) != nil")
+	}
+	bare := &StoreError{Op: "recover"}
+	if !errors.Is(bare, ErrStore) || Classify(bare) != "store" {
+		t.Fatal("cause-less StoreError misclassified")
+	}
+}

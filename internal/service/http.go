@@ -284,6 +284,20 @@ type healthResponse struct {
 	QueueCapacity int    `json:"queue_capacity"`
 	Workers       int    `json:"workers"`
 	Uptime        string `json:"uptime"`
+	// StoreMode is "memory" (no store configured), "disk" (journaling),
+	// or "memory-degraded" (a store write failed; persistence is off but
+	// the service keeps solving).
+	StoreMode string `json:"store_mode"`
+	// StoreErrors counts failed store writes (nonzero implies a past or
+	// present degradation).
+	StoreErrors int64 `json:"store_errors,omitempty"`
+	// Recovery counters from the boot-time WAL replay.
+	RecoveredFinished int  `json:"recovered_finished,omitempty"`
+	RecoveredRequeued int  `json:"recovered_requeued,omitempty"`
+	RecoveredDropped  int  `json:"recovered_dropped,omitempty"`
+	Quarantined       int  `json:"quarantined,omitempty"`
+	WALCorruptRecords int  `json:"wal_corrupt_records,omitempty"`
+	WALTruncatedTail  bool `json:"wal_truncated_tail,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -294,11 +308,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	depth, capa := s.QueueDepth()
+	mode, errs, restored := s.StoreStatus()
 	writeJSON(w, code, healthResponse{
-		Status:        status,
-		QueueDepth:    depth,
-		QueueCapacity: capa,
-		Workers:       s.cfg.Workers,
-		Uptime:        time.Since(s.start).Round(time.Second).String(),
+		Status:            status,
+		QueueDepth:        depth,
+		QueueCapacity:     capa,
+		Workers:           s.cfg.Workers,
+		Uptime:            time.Since(s.start).Round(time.Second).String(),
+		StoreMode:         mode.String(),
+		StoreErrors:       errs,
+		RecoveredFinished: restored.Finished,
+		RecoveredRequeued: restored.Requeued,
+		RecoveredDropped:  restored.Dropped,
+		Quarantined:       restored.Quarantined,
+		WALCorruptRecords: restored.CorruptRecords,
+		WALTruncatedTail:  restored.TruncatedTail,
 	})
 }

@@ -67,6 +67,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	// Persistence state: mode as one-hot labeled gauge (Prometheus
+	// convention for enums), plus recovery and degradation counters.
+	mode, storeErrs, restored := s.StoreStatus()
+	fmt.Fprintf(&b, "# HELP serretimed_store_mode persistence mode (one-hot: memory, disk, memory-degraded)\n# TYPE serretimed_store_mode gauge\n")
+	for _, m := range []StoreMode{StoreMemory, StoreDisk, StoreDegraded} {
+		v := 0
+		if m == mode {
+			v = 1
+		}
+		fmt.Fprintf(&b, "serretimed_store_mode{mode=%q} %d\n", m.String(), v)
+	}
+	counter("serretimed_store_errors_total", storeErrs, "failed store writes (first one degrades the service to memory-only)")
+	fmt.Fprintf(&b, "# HELP serretimed_store_recovered_jobs_total jobs restored by the boot-time WAL replay\n# TYPE serretimed_store_recovered_jobs_total counter\n")
+	fmt.Fprintf(&b, "serretimed_store_recovered_jobs_total{kind=\"finished\"} %d\n", restored.Finished)
+	fmt.Fprintf(&b, "serretimed_store_recovered_jobs_total{kind=\"requeued\"} %d\n", restored.Requeued)
+	fmt.Fprintf(&b, "serretimed_store_recovered_jobs_total{kind=\"dropped\"} %d\n", restored.Dropped)
+	counter("serretimed_store_quarantined_total", restored.Quarantined, "payloads whose checksum did not match the journal (moved aside, never served)")
+	counter("serretimed_store_wal_corrupt_records_total", restored.CorruptRecords, "WAL records before the tail that failed CRC or decode")
+
 	counter("serretimed_cache_hits_total", hits, "submissions served from a finished identical job")
 	counter("serretimed_cache_misses_total", accepted+rejected, "submissions that found no identical live job")
 	gauge("serretimed_cache_entries", entries, "retained jobs (the content-addressed cache size)")

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"serretime"
+	"serretime/internal/guard"
+	"serretime/internal/store"
+)
+
+func openStore(t *testing.T, dir string) (*store.Disk, []store.RecoveredJob, store.Stats) {
+	t.Helper()
+	d, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, st, err := d.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, jobs, st
+}
+
+// TestRecoveryRestoresFinishedJobAsCacheHit is the tentpole contract
+// end to end, in-process: solve a job on a store-backed server, shut it
+// down, boot a second server on the same data directory, and demand
+// that resubmitting the identical circuit answers "cached" with the
+// byte-identical result — the cache survived the restart.
+func TestRecoveryRestoresFinishedJobAsCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, Timeout: time.Minute}
+	d := tableIDesign(t, "b14_1_opt", 100)
+
+	diskA, jobs, st := openStore(t, dir)
+	if len(jobs) != 0 {
+		t.Fatalf("fresh store recovered %d jobs", len(jobs))
+	}
+	cfgA := cfg
+	cfgA.Store = diskA
+	a := New(context.Background(), cfgA)
+	a.Restore(jobs, st)
+	j, disp, err := a.Submit(d, fastOpts())
+	if err != nil || disp != Accepted {
+		t.Fatalf("submit: %v, %v", disp, err)
+	}
+	<-j.Done
+	want, err := a.Result(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: same directory, fresh process state.
+	diskB, jobs, st := openStore(t, dir)
+	if st.Finished != 1 || st.Quarantined != 0 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	cfgB := cfg
+	cfgB.Store = diskB
+	b := New(context.Background(), cfgB)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = b.Drain(dctx)
+	}()
+	sum := b.Restore(jobs, st)
+	if sum.Finished != 1 || sum.Requeued != 0 || sum.Dropped != 0 {
+		t.Fatalf("restore summary: %+v", sum)
+	}
+
+	j2, disp, err := b.Submit(d, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != Cached {
+		t.Fatalf("post-restart resubmission: disposition %v, want Cached", disp)
+	}
+	got, err := b.Result(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered result differs from the original solve:\n%.120s\nvs\n%.120s", got, want)
+	}
+	if mode, _, _ := b.StoreStatus(); mode != StoreDisk {
+		t.Fatalf("store mode %v, want disk", mode)
+	}
+}
+
+// TestRecoveryRequeuesInterruptedJob plays back a WAL whose job was
+// running at "crash" time (journaled submitted+running, never done):
+// Restore must re-enqueue it, a worker must solve it, and the result
+// must then serve from cache.
+func TestRecoveryRequeuesInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	d := tableIDesign(t, "s13207", 100)
+	opt := fastOpts()
+	opt.Timeout = time.Minute // pin: the blob round-trip must not depend on server defaults
+	key, err := JobKey(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crashed daemon's life, reduced to its WAL trace.
+	diskA, _, _ := openStore(t, dir)
+	if err := diskA.JournalSubmitted(key, d.Name(), benchBytes(t, d), encodeOptions(opt), opt.CanonicalKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskA.JournalRunning(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	diskB, jobs, st := openStore(t, dir)
+	if st.Requeued != 1 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	s := New(context.Background(), Config{Workers: 2, Timeout: time.Minute, Store: diskB})
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(dctx)
+	}()
+	sum := s.Restore(jobs, st)
+	if sum.Requeued != 1 || sum.Dropped != 0 {
+		t.Fatalf("restore summary: %+v", sum)
+	}
+
+	j, ok := s.Job(key)
+	if !ok {
+		t.Fatalf("requeued job %.12s not registered", key)
+	}
+	select {
+	case <-j.Done:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("requeued job never finished")
+	}
+	if _, err := s.Result(j); err != nil {
+		t.Fatalf("re-solved job failed: %v", err)
+	}
+	if _, disp, err := s.Submit(d, opt); err != nil || disp != Cached {
+		t.Fatalf("resubmission after re-solve: %v, %v", disp, err)
+	}
+}
+
+// TestRecoveryDropsKeyMismatch journals a record whose ID does not
+// match the payload+options it claims: Restore must refuse to solve
+// under a forged identity.
+func TestRecoveryDropsKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d := tableIDesign(t, "s13207", 100)
+	opt := fastOpts()
+	opt.Timeout = time.Minute
+
+	diskA, _, _ := openStore(t, dir)
+	bogus := strings.Repeat("ab", 32)
+	if err := diskA.JournalSubmitted(bogus, d.Name(), benchBytes(t, d), encodeOptions(opt), opt.CanonicalKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	diskB, jobs, st := openStore(t, dir)
+	defer diskB.Close()
+	s := New(context.Background(), Config{Workers: 1, Timeout: time.Minute})
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(dctx)
+	}()
+	sum := s.Restore(jobs, st)
+	if sum.Dropped != 1 || sum.Requeued != 0 {
+		t.Fatalf("restore summary: %+v", sum)
+	}
+	if _, ok := s.Job(bogus); ok {
+		t.Fatal("forged job registered")
+	}
+}
+
+// failingStore fails every journal call after the trip wire arms.
+type failingStore struct {
+	err    error
+	closed bool
+}
+
+func (f *failingStore) JournalSubmitted(string, string, []byte, []byte, string) error { return f.err }
+func (f *failingStore) JournalRunning(string) error                                   { return f.err }
+func (f *failingStore) JournalDone(string, store.ResultMeta, []byte) error            { return f.err }
+func (f *failingStore) JournalFailed(string, string, string) error                    { return f.err }
+func (f *failingStore) JournalEvicted(string) error                                   { return f.err }
+func (f *failingStore) Close() error                                                  { f.closed = true; return nil }
+
+// TestStoreFailureDegradesToMemoryOnly: a store write failure must cost
+// persistence, never the solve. The server flips to memory-degraded
+// mode, counts the error, closes the store, and keeps serving.
+func TestStoreFailureDegradesToMemoryOnly(t *testing.T) {
+	fake := &failingStore{err: fmt.Errorf("disk on fire")}
+	var logged []string
+	svc, ts := newTestServer(t, Config{
+		Workers: 2,
+		Timeout: time.Minute,
+		Store:   fake,
+		Logf:    func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) },
+	})
+	d := tableIDesign(t, "s13207", 100)
+
+	j, disp, err := svc.Submit(d, fastOpts())
+	if err != nil || disp != Accepted {
+		t.Fatalf("submit with a failing store must still accept: %v, %v", disp, err)
+	}
+	<-j.Done
+	if _, err := svc.Result(j); err != nil {
+		t.Fatalf("solve failed under store degradation: %v", err)
+	}
+
+	mode, errs, _ := svc.StoreStatus()
+	if mode != StoreDegraded || errs != 1 {
+		t.Fatalf("mode %v, errs %d; want memory-degraded, 1", mode, errs)
+	}
+	if !fake.closed {
+		t.Fatal("degraded store not closed")
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "memory-only") {
+		t.Fatalf("degradation not logged exactly once: %q", logged)
+	}
+
+	// The flag is visible to operators.
+	body, resp := fetchBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"store_mode": "memory-degraded"`) {
+		t.Fatalf("healthz (HTTP %d): %.400s", resp.StatusCode, body)
+	}
+	body, _ = fetchBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`serretimed_store_mode{mode="memory-degraded"} 1`,
+		`serretimed_store_mode{mode="disk"} 0`,
+		"serretimed_store_errors_total 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%.800s", want, body)
+		}
+	}
+}
+
+// TestOptionsBlobRoundTrip: the journaled options blob must reproduce
+// the canonical key — otherwise recovered jobs would re-solve under a
+// different identity than they were submitted with.
+func TestOptionsBlobRoundTrip(t *testing.T) {
+	opt := fastOpts()
+	opt.Algorithm = serretime.MinArea
+	opt.Engine = serretime.EngineForest
+	opt.Epsilon = 0.25
+	opt.AreaWeight = 0.5
+	opt.Verify = true
+	opt.StallSteps = 7
+	opt.Analysis.Seed = 42
+	opt.Timeout = 90 * time.Second
+	opt.Retries = 2
+	opt.RelaxFactor = 3
+
+	got, err := decodeOptions(encodeOptions(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CanonicalKey() != opt.CanonicalKey() {
+		t.Fatalf("canonical key not preserved:\n%s\nvs\n%s", got.CanonicalKey(), opt.CanonicalKey())
+	}
+	if _, err := decodeOptions([]byte("{broken")); err == nil || !errors.Is(err, guard.ErrStore) {
+		t.Fatalf("bad blob: %v", err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"serretime"
 	"serretime/internal/guard"
+	"serretime/internal/store"
 	"serretime/internal/telemetry"
 )
 
@@ -138,6 +139,13 @@ type Config struct {
 	// Recorder receives solver telemetry in addition to the server's own
 	// collector (e.g. a telemetry.JSONLWriter for a persistent trace).
 	Recorder telemetry.Recorder
+	// Store, when set, journals every job lifecycle transition and its
+	// payloads so a restarted daemon can restore its cache and re-solve
+	// interrupted jobs (call Restore after New). nil runs memory-only.
+	Store Store
+	// Logf receives operational log lines (store degradation, recovery
+	// drops). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +192,14 @@ type Server struct {
 	order    []string // finished-job eviction order (oldest first)
 	draining bool
 
+	// Persistence (guarded by mu). store is nilled on the first write
+	// failure: the server degrades to memory-only rather than failing
+	// solves.
+	store     Store
+	storeMode StoreMode
+	storeErrs int64
+	restored  RestoreSummary
+
 	// counters (guarded by mu; scraped by /metrics)
 	accepted  int64 // jobs enqueued (cache misses)
 	rejected  int64 // 429s: queue full
@@ -210,6 +226,10 @@ func New(ctx context.Context, cfg Config) *Server {
 		start:   time.Now(),
 		jobs:    make(map[string]*Job),
 		byClass: make(map[string]int64),
+		store:   cfg.Store,
+	}
+	if cfg.Store != nil {
+		s.storeMode = StoreDisk
 	}
 	s.rec = telemetry.Tee(s.col, cfg.Recorder)
 	for i := 0; i < cfg.Workers; i++ {
@@ -224,15 +244,23 @@ func New(ctx context.Context, cfg Config) *Server {
 // the canonical option key. Exported so clients (serbench -serve) and
 // tests can predict cache behavior.
 func JobKey(d *serretime.Design, opt serretime.RobustOptions) (string, error) {
+	key, _, err := jobKey(d, opt)
+	return key, err
+}
+
+// jobKey also returns the canonical .bench bytes the key hashes, so
+// Submit can journal the exact payload its identity commits to without
+// serializing the design twice.
+func jobKey(d *serretime.Design, opt serretime.RobustOptions) (string, []byte, error) {
 	var buf bytes.Buffer
 	if err := d.WriteBench(&buf); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	h := sha256.New()
 	h.Write(buf.Bytes())
 	h.Write([]byte{0})
 	h.Write([]byte(opt.CanonicalKey()))
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil)), buf.Bytes(), nil
 }
 
 // Submit registers a parsed design for solving under the given options
@@ -256,7 +284,7 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 		opt.Workers = s.cfg.SolveWorkers
 	}
 	opt.Recorder = s.rec
-	key, err := JobKey(d, opt)
+	key, bench, err := jobKey(d, opt)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -299,6 +327,9 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 	}
 	s.jobs[key] = j
 	s.accepted++
+	s.journal(func(st Store) error {
+		return st.JournalSubmitted(key, j.Name, bench, encodeOptions(opt), opt.CanonicalKey())
+	})
 	return j, Accepted, nil
 }
 
@@ -403,6 +434,7 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	s.journal(func(st Store) error { return st.JournalRunning(j.ID) })
 	s.mu.Unlock()
 
 	res, err := j.design.RetimeRobust(s.baseCtx, j.opts)
@@ -427,6 +459,13 @@ func (s *Server) runJob(j *Job) {
 	if int(res.Tier) < len(s.byTier) {
 		s.byTier[res.Tier]++
 	}
+	s.journal(func(st Store) error {
+		return st.JournalDone(j.ID, store.ResultMeta{
+			Tier:     int(res.Tier),
+			Degraded: res.Degraded,
+			DeltaSER: j.deltaSER,
+		}, j.result)
+	})
 	s.retainLocked(j.ID)
 	s.mu.Unlock()
 	close(j.Done)
@@ -439,6 +478,9 @@ func (s *Server) finishJob(j *Job, err error) {
 	j.err = err
 	s.failed++
 	s.byClass[guard.Classify(err)]++
+	s.journal(func(st Store) error {
+		return st.JournalFailed(j.ID, guard.Classify(err), err.Error())
+	})
 	s.retainLocked(j.ID)
 	s.mu.Unlock()
 	close(j.Done)
@@ -452,6 +494,7 @@ func (s *Server) retainLocked(id string) {
 		old := s.order[0]
 		s.order = s.order[1:]
 		delete(s.jobs, old)
+		s.journal(func(st Store) error { return st.JournalEvicted(old) })
 	}
 }
 
@@ -491,6 +534,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		case j := <-s.queue:
 			s.finishJob(j, fmt.Errorf("service: job %s cancelled by drain: %w", j.ID, ErrDraining))
 		default:
+			s.mu.Lock()
+			st := s.store
+			s.store = nil
+			s.mu.Unlock()
+			if st != nil {
+				return st.Close()
+			}
 			return nil
 		}
 	}

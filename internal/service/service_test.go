@@ -142,7 +142,11 @@ func TestServiceEndToEnd(t *testing.T) {
 	if msg.Disposition != Accepted.String() {
 		t.Fatalf("submit disposition: want accepted, got %q", msg.Disposition)
 	}
-	if msg.ID == "" || msg.Name != "b14" {
+	// The uploaded canonical netlist carries its design name in the
+	// leading comment, which overrides the filename-derived fallback —
+	// the same rule that lets the recovery path round-trip names the
+	// filename cannot carry.
+	if msg.ID == "" || msg.Name != d.Name() {
 		t.Fatalf("submit view: %+v", msg.JobView)
 	}
 

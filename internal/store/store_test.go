@@ -1,0 +1,462 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serretime/internal/faultfs"
+	"serretime/internal/guard"
+)
+
+func openTest(t *testing.T, dir string, fsys faultfs.FS) (*Disk, []RecoveredJob, Stats) {
+	t.Helper()
+	d, err := Open(Options{Dir: dir, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, st, err := d.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, jobs, st
+}
+
+// lifecycle is the scripted workload of the crash-sweep property test:
+// three jobs move through their lives — one finishes, one fails, one is
+// still queued at the end — plus an eviction of a previously-finished
+// job.
+func lifecycle(d *Disk) error {
+	steps := []func() error{
+		func() error {
+			return d.JournalSubmitted("job-a", "ckt_a", []byte("netlist-a"), []byte(`{"o":1}`), "key-a")
+		},
+		func() error { return d.JournalRunning("job-a") },
+		func() error {
+			return d.JournalDone("job-a", ResultMeta{Tier: 2, Degraded: true, DeltaSER: -12.5}, []byte("result-a"))
+		},
+		func() error {
+			return d.JournalSubmitted("job-b", "ckt_b", []byte("netlist-b"), []byte(`{"o":2}`), "key-b")
+		},
+		func() error { return d.JournalRunning("job-b") },
+		func() error { return d.JournalFailed("job-b", "stalled", "no improvement") },
+		func() error {
+			return d.JournalSubmitted("job-c", "ckt_c", []byte("netlist-c"), []byte(`{"o":3}`), "key-c")
+		},
+		func() error {
+			return d.JournalSubmitted("job-d", "ckt_d", []byte("netlist-d"), []byte(`{"o":4}`), "key-d")
+		},
+		func() error { return d.JournalRunning("job-d") },
+		func() error { return d.JournalDone("job-d", ResultMeta{Tier: 0}, []byte("result-d")) },
+		func() error { return d.JournalEvicted("job-d") },
+		func() error { return d.Close() },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkInvariant asserts the recovery invariant on a reopened store:
+// every job is either absent, pending with a verified netlist, or done
+// with a verified result — never a half state.
+func checkInvariant(t *testing.T, label string, jobs []RecoveredJob) map[string]RecoveredJob {
+	t.Helper()
+	byID := make(map[string]RecoveredJob, len(jobs))
+	for _, j := range jobs {
+		if _, dup := byID[j.ID]; dup {
+			t.Fatalf("%s: job %s recovered twice", label, j.ID)
+		}
+		byID[j.ID] = j
+		if j.Done {
+			if len(j.Result) == 0 {
+				t.Fatalf("%s: done job %s has no result", label, j.ID)
+			}
+			if len(j.Netlist) != 0 {
+				t.Fatalf("%s: done job %s carries a netlist", label, j.ID)
+			}
+		} else {
+			if len(j.Netlist) == 0 {
+				t.Fatalf("%s: pending job %s has no netlist", label, j.ID)
+			}
+			if len(j.Result) != 0 {
+				t.Fatalf("%s: pending job %s carries a result", label, j.ID)
+			}
+		}
+	}
+	// job-b failed. If the crash predates the durable "failed" record the
+	// job legitimately comes back pending (it was running; re-solve it) —
+	// but it must never surface as done: no result was ever journaled.
+	if j, ok := byID["job-b"]; ok && j.Done {
+		t.Fatalf("%s: failed job-b resurrected as done", label)
+	}
+	// A recovered done job must carry exactly the journaled payload.
+	if j, ok := byID["job-a"]; ok && j.Done {
+		if !bytes.Equal(j.Result, []byte("result-a")) {
+			t.Fatalf("%s: job-a result corrupted: %q", label, j.Result)
+		}
+		if j.Meta.Tier != 2 || !j.Meta.Degraded || j.Meta.DeltaSER != -12.5 {
+			t.Fatalf("%s: job-a meta lost: %+v", label, j.Meta)
+		}
+		if j.Name != "ckt_a" || j.OptKey != "key-a" || string(j.Opts) != `{"o":1}` {
+			t.Fatalf("%s: job-a identity lost: %+v", label, j)
+		}
+	}
+	if j, ok := byID["job-c"]; ok {
+		if j.Done {
+			t.Fatalf("%s: never-solved job-c recovered as done", label)
+		}
+		if !bytes.Equal(j.Netlist, []byte("netlist-c")) {
+			t.Fatalf("%s: job-c netlist corrupted: %q", label, j.Netlist)
+		}
+	}
+	return byID
+}
+
+// TestLifecycleRoundTrip runs the full scripted lifecycle with no
+// faults and checks the final recovered state.
+func TestLifecycleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, jobs, st := openTest(t, dir, faultfs.OS())
+	if len(jobs) != 0 || st.Records != 0 {
+		t.Fatalf("fresh store not empty: %d jobs, %+v", len(jobs), st)
+	}
+	if err := lifecycle(d); err != nil {
+		t.Fatal(err)
+	}
+
+	_, jobs, st = openTest(t, dir, faultfs.OS())
+	byID := checkInvariant(t, "clean", jobs)
+	if j := byID["job-a"]; !j.Done {
+		t.Fatalf("job-a not recovered as done: %+v", j)
+	}
+	if _, ok := byID["job-b"]; ok {
+		t.Fatal("failed job-b resurrected")
+	}
+	if _, ok := byID["job-c"]; !ok {
+		t.Fatal("queued job-c lost")
+	}
+	if _, ok := byID["job-d"]; ok {
+		t.Fatal("evicted job-d resurrected")
+	}
+	if st.Finished != 1 || st.Requeued != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The eviction must have removed job-d's payloads.
+	if _, err := os.Stat(filepath.Join(dir, "results", "job-d")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("evicted job-d result still on disk: %v", err)
+	}
+}
+
+// TestCrashSweepEveryOp is the WAL-replay property test: the scripted
+// lifecycle is re-run with an injected crash (torn writes on) at every
+// mutating filesystem operation; after each crash, a reopen must
+// succeed and the recovery invariant must hold. Run under -race in CI.
+func TestCrashSweepEveryOp(t *testing.T) {
+	base := t.TempDir()
+
+	probe := faultfs.NewFault(faultfs.OS())
+	d, _, _ := openTest(t, filepath.Join(base, "probe"), probe)
+	if err := lifecycle(d); err != nil {
+		t.Fatal(err)
+	}
+	n := probe.Ops()
+	if n < 20 {
+		t.Fatalf("lifecycle performed only %d mutating ops — sweep too small", n)
+	}
+
+	for k := 1; k <= n; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-%03d", k), func(t *testing.T) {
+			dir := filepath.Join(base, fmt.Sprintf("k%d", k))
+			fault := faultfs.NewFault(faultfs.OS())
+			fault.TornWrites(true)
+			fault.CrashAt(k)
+
+			crashed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := faultfs.AsCrash(r); !ok {
+							panic(r)
+						}
+						crashed = true
+					}
+				}()
+				d, err := Open(Options{Dir: dir, FS: fault})
+				if err != nil {
+					return // crash rules can surface as ErrCrashed too
+				}
+				if _, _, err := d.Recover(); err != nil {
+					return
+				}
+				_ = lifecycle(d)
+			}()
+			if !crashed && !fault.Dead() {
+				t.Fatalf("k=%d: crash never fired (schedule too long?)", k)
+			}
+
+			// The "process" is dead. Reopen the directory cold and
+			// demand the invariant.
+			_, jobs, _ := openTest(t, dir, faultfs.OS())
+			byID := checkInvariant(t, fmt.Sprintf("k=%d", k), jobs)
+
+			// Stronger: a job recovered as done must have the exact
+			// journaled payload (checkInvariant), and a *second*
+			// reopen (post-compaction) must agree with the first.
+			_, jobs2, _ := openTest(t, dir, faultfs.OS())
+			byID2 := checkInvariant(t, fmt.Sprintf("k=%d reopen", k), jobs2)
+			if len(byID2) != len(byID) {
+				t.Fatalf("k=%d: compaction changed the live set: %d -> %d", k, len(byID), len(byID2))
+			}
+			for id, j := range byID {
+				j2, ok := byID2[id]
+				if !ok {
+					t.Fatalf("k=%d: job %s lost by compaction", k, id)
+				}
+				if j.Done != j2.Done || !bytes.Equal(j.Result, j2.Result) || !bytes.Equal(j.Netlist, j2.Netlist) {
+					t.Fatalf("k=%d: job %s changed across compaction", k, id)
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptResultQuarantined flips bytes in a finished job's payload:
+// recovery must quarantine it (never serve it) and — because the intake
+// payload survives — degrade the job to pending so it is re-solved.
+func TestCorruptResultQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, faultfs.OS())
+	if err := d.JournalSubmitted("j1", "c1", []byte("netlist-1"), nil, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("j1", ResultMeta{Tier: 1}, []byte("result-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resPath := filepath.Join(dir, "results", "j1")
+	if err := os.WriteFile(resPath, []byte("rEsult-1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, jobs, st := openTest(t, dir, faultfs.OS())
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (%+v)", st.Quarantined, st)
+	}
+	if len(jobs) != 1 || jobs[0].Done || !bytes.Equal(jobs[0].Netlist, []byte("netlist-1")) {
+		t.Fatalf("corrupt-result job not degraded to pending: %+v", jobs)
+	}
+	// The corrupt payload is preserved for diagnosis, outside the
+	// servable set.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "j1")); err != nil {
+		t.Fatalf("corrupt result not quarantined: %v", err)
+	}
+	if _, err := os.Stat(resPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt result still servable: %v", err)
+	}
+}
+
+// TestCorruptEverythingDropsJob corrupts both payloads: the job must
+// vanish entirely rather than surface half-recovered.
+func TestCorruptEverythingDropsJob(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, faultfs.OS())
+	if err := d.JournalSubmitted("j1", "c1", []byte("netlist-1"), nil, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("j1", ResultMeta{}, []byte("result-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{filepath.Join(dir, "results", "j1"), filepath.Join(dir, "intake", "j1")} {
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, jobs, st := openTest(t, dir, faultfs.OS())
+	if len(jobs) != 0 {
+		t.Fatalf("doubly-corrupt job served: %+v", jobs)
+	}
+	if st.Quarantined != 2 {
+		t.Fatalf("quarantined = %d, want 2", st.Quarantined)
+	}
+}
+
+// TestTornWALTail appends garbage (a torn record) to the WAL: replay
+// must absorb it as the crash artifact it models and keep every intact
+// record.
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, faultfs.OS())
+	if err := d.JournalSubmitted("j1", "c1", []byte("netlist-1"), nil, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"op":"done","id":"j1` /* torn mid-record */); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, jobs, st := openTest(t, dir, faultfs.OS())
+	if !st.TruncatedTail {
+		t.Fatalf("torn tail not detected: %+v", st)
+	}
+	if len(jobs) != 1 || jobs[0].Done {
+		t.Fatalf("intact records lost to a torn tail: %+v", jobs)
+	}
+}
+
+// TestWriteErrorsSurfaceAsStoreErrors verifies every journal method
+// wraps filesystem failures in guard.ErrStore — the class the service
+// keys its degradation and metrics on.
+func TestWriteErrorsSurfaceAsStoreErrors(t *testing.T) {
+	fault := faultfs.NewFault(faultfs.OS())
+	d, _, _ := openTest(t, t.TempDir(), fault)
+	boom := errors.New("EIO")
+	fault.FailOp(faultfs.OpWrite, "", boom, -1)
+	fault.FailOp(faultfs.OpOpen, "", boom, -1)
+
+	for name, call := range map[string]func() error{
+		"submitted": func() error { return d.JournalSubmitted("x", "n", []byte("nl"), nil, "k") },
+		"running":   func() error { return d.JournalRunning("x") },
+		"done":      func() error { return d.JournalDone("x", ResultMeta{}, []byte("r")) },
+		"failed":    func() error { return d.JournalFailed("x", "internal", "m") },
+		"evicted":   func() error { return d.JournalEvicted("x") },
+	} {
+		err := call()
+		if err == nil {
+			t.Fatalf("%s: injected write failure returned nil", name)
+		}
+		if !errors.Is(err, guard.ErrStore) || !errors.Is(err, boom) {
+			t.Fatalf("%s: error does not unwrap to ErrStore+cause: %v", name, err)
+		}
+		if guard.Classify(err) != "store" {
+			t.Fatalf("%s: Classify = %q", name, guard.Classify(err))
+		}
+	}
+}
+
+// TestJournalBeforeRecoverRefused pins the Open/Recover contract.
+func TestJournalBeforeRecoverRefused(t *testing.T) {
+	d, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalRunning("x"); !errors.Is(err, guard.ErrStore) {
+		t.Fatalf("journal before Recover: want ErrStore, got %v", err)
+	}
+	if _, _, err := d.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Recover(); !errors.Is(err, guard.ErrStore) {
+		t.Fatalf("second Recover: want ErrStore, got %v", err)
+	}
+}
+
+// TestCompactionShrinksWAL: a long churn of evictions must not leave
+// the WAL growing without bound across reopens.
+func TestCompactionShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, faultfs.OS())
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if err := d.JournalSubmitted(id, "c", []byte("netlist"), nil, "k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.JournalDone(id, ResultMeta{}, []byte("result")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.JournalEvicted(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.JournalSubmitted("live", "c", []byte("netlist"), nil, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jobs, _ := openTest(t, dir, faultfs.OS())
+	if len(jobs) != 1 || jobs[0].ID != "live" {
+		t.Fatalf("live set after churn: %+v", jobs)
+	}
+	after, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the WAL: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// No dead payloads left behind.
+	entries, err := os.ReadDir(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d evicted results survived the sweep", len(entries))
+	}
+}
+
+// TestSyncPolicies exercises the three policies end to end (semantics
+// beyond "it syncs" are OS-level; this pins that every policy journals
+// and recovers identically).
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := Open(Options{Dir: dir, Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := d.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.JournalSubmitted("j", "c", []byte("n"), nil, "k"); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.JournalDone("j", ResultMeta{}, []byte("r")); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, jobs, _ := openTest(t, dir, faultfs.OS())
+			if len(jobs) != 1 || !jobs[0].Done {
+				t.Fatalf("policy %s: %+v", pol, jobs)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"": SyncAlways, "always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); !errors.Is(err, guard.ErrParse) {
+		t.Errorf("bad policy: want ErrParse, got %v", err)
+	}
+}

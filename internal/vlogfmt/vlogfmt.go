@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"serretime/internal/circuit"
+	"serretime/internal/faultfs"
 	"serretime/internal/guard"
 )
 
@@ -292,15 +293,10 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 	return bw.Flush()
 }
 
-// WriteFile writes the circuit to a Verilog file.
+// WriteFile writes the circuit to a Verilog file. The write is atomic
+// (temp file + rename), so a crash mid-write can't leave a torn netlist.
 func WriteFile(path string, c *circuit.Circuit) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, c); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return faultfs.WriteAtomic(faultfs.OS(), path, 0o644, false, func(w io.Writer) error {
+		return Write(w, c)
+	})
 }
