@@ -30,6 +30,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"serretime/internal/telemetry"
 )
 
 // child is one serretimed process the harness controls.
@@ -128,7 +130,7 @@ func runCrash(cfg config, stdout, stderr io.Writer) int {
 		wg.Add(1)
 		go func(i int, p payload) {
 			defer wg.Done()
-			msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c1.base, p.name), p.body)
+			msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c1.base, p.name), p.body, telemetry.NewTraceID())
 			if err == nil && msg.Status != "done" && msg.Status != "failed" {
 				msg, err = pollJob(ctx, client, c1.base, msg.ID, cfg.pollInterval)
 			}
@@ -149,7 +151,7 @@ func runCrash(cfg config, stdout, stderr io.Writer) int {
 		extra.Add(1)
 		go func(p payload) {
 			defer extra.Done()
-			_, _, _ = submitOne(extraCtx, client, submitURLAt(cfg, c1.base, p.name), p.body)
+			_, _, _ = submitOne(extraCtx, client, submitURLAt(cfg, c1.base, p.name), p.body, telemetry.NewTraceID())
 		}(payloads[i%len(payloads)])
 	}
 	wg.Wait()
@@ -178,7 +180,7 @@ func runCrash(cfg config, stdout, stderr io.Writer) int {
 
 	var cached, lost, differ int
 	for i, p := range payloads {
-		msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c2.base, p.name), p.body)
+		msg, _, err := submitOne(ctx, client, submitURLAt(cfg, c2.base, p.name), p.body, telemetry.NewTraceID())
 		if err != nil {
 			fmt.Fprintf(stderr, "serbench: crash: life 2: %s: %v\n", p.name, err)
 			return 2

@@ -39,7 +39,12 @@
 //
 // Two client modes replace the in-process sweep: -serve bursts the
 // payload set at a running serretimed and verifies its caching and
-// determinism promises (serve.go), and -crashbin runs a kill-recover
+// determinism promises (serve.go) — it mints a trace ID per submission,
+// propagates it via the Traceparent header, prints client-side
+// submit→result latency percentiles, and with -trace downloads every
+// job's persisted span tree to a JSONL file (exit 1 if any accepted
+// job's trace is missing; aggregate with seranalyze -tracedir) — and
+// -crashbin runs a kill-recover
 // chaos harness — boot a child daemon on a data directory, burst,
 // SIGKILL it mid-burst, reboot on the same directory, and demand every
 // confirmed pre-crash result is served as a byte-identical cache hit
@@ -160,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.retries, "retries", 0, "extra attempts per degradation tier after a transient failure")
 	fs.IntVar(&cfg.stallSteps, "stallsteps", 0, "abort an optimizer run after this many steps without improvement (0 = off)")
 	fs.StringVar(&cfg.faultInject, "faultinject", "", "comma-separated circuit names whose runs are fault-injected (testing)")
-	fs.StringVar(&cfg.tracePath, "trace", "", "write a JSONL telemetry trace of every run (read with seranalyze -trace)")
+	fs.StringVar(&cfg.tracePath, "trace", "", "write a JSONL telemetry trace of every run (read with seranalyze -trace); with -serve, collect every job's span tree as JSONL trace docs (read with seranalyze -tracedir)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "collect per-circuit phase metrics and add a phase-breakdown column")
 	fs.BoolVar(&cfg.checkLabels, "checklabels", false, "cross-check every incremental label patch against the full-recompute oracle; mismatches fail the row")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep")

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -27,6 +28,7 @@ import (
 
 	"serretime"
 	"serretime/internal/gen"
+	"serretime/internal/telemetry"
 )
 
 // backoff yields capped, jittered exponential waits for retry loops with
@@ -78,6 +80,7 @@ type jobMsg struct {
 	Disposition string `json:"disposition"`
 	Error       string `json:"error"`
 	ErrorClass  string `json:"error_class"`
+	TraceID     string `json:"trace_id"`
 }
 
 // payload is one submittable netlist.
@@ -166,7 +169,7 @@ func submitURL(cfg config, name string) string {
 // Retry-After hint is honored when present; otherwise the retry waits
 // back off exponentially with jitter. Every wait aborts promptly on
 // context cancellation instead of sleeping past the deadline.
-func submitOne(ctx context.Context, client *http.Client, u string, body []byte) (jobMsg, int, error) {
+func submitOne(ctx context.Context, client *http.Client, u string, body []byte, traceID telemetry.TraceID) (jobMsg, int, error) {
 	var retried429 int
 	var bo backoff
 	for {
@@ -175,6 +178,9 @@ func submitOne(ctx context.Context, client *http.Client, u string, body []byte) 
 			return jobMsg{}, retried429, err
 		}
 		req.Header.Set("Content-Type", "text/plain")
+		// W3C trace context: the minted ID joins the client's view of
+		// this submission with the server's span tree for the job.
+		req.Header.Set("Traceparent", "00-"+traceID.String()+"-0000000000000001-01")
 		resp, err := client.Do(req)
 		if err != nil {
 			return jobMsg{}, retried429, err
@@ -263,7 +269,11 @@ func fetchResult(ctx context.Context, client *http.Client, base, id string) ([]b
 
 // runServe is the -serve entry point: submit a burst of cfg.burst
 // submissions (cycling through the payload set), poll every job to
-// completion, download and cross-check results, and print a summary.
+// completion, download and cross-check results, and print a summary
+// with client-observed submit→result latency percentiles. With -trace
+// set, every submission carries a minted Traceparent, every job's span
+// tree is fetched from /v1/jobs/{id}/trace and written as JSONL to the
+// trace path, and a missing or empty trace fails the run.
 func runServe(cfg config, stdout, stderr io.Writer) int {
 	payloads, err := servePayloads(cfg)
 	if err != nil {
@@ -282,6 +292,8 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 		msg        jobMsg
 		result     []byte
 		retried429 int
+		minted     telemetry.TraceID // trace ID sent in Traceparent
+		latency    time.Duration     // submit → result downloaded
 		err        error
 	}
 	outcomes := make([]outcome, cfg.burst)
@@ -294,7 +306,9 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			p := payloads[i%len(payloads)]
 			o := &outcomes[i]
 			o.payload = i % len(payloads)
-			msg, retried, err := submitOne(ctx, client, submitURL(cfg, p.name), p.body)
+			o.minted = telemetry.NewTraceID()
+			t0 := time.Now()
+			msg, retried, err := submitOne(ctx, client, submitURL(cfg, p.name), p.body, o.minted)
 			o.retried429 = retried
 			if err != nil {
 				o.err = err
@@ -303,6 +317,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			// The status endpoint doesn't echo the disposition — only the
 			// submit response carries it, so hold on to it across polling.
 			disp := msg.Disposition
+			traceID := msg.TraceID
 			if msg.Status != "done" && msg.Status != "failed" {
 				msg, err = pollJob(ctx, client, cfg.serveURL, msg.ID, cfg.pollInterval)
 				if err != nil {
@@ -310,6 +325,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 					return
 				}
 				msg.Disposition = disp
+				msg.TraceID = traceID
 			}
 			o.msg = msg
 			if msg.Status == "failed" {
@@ -317,15 +333,18 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 				return
 			}
 			o.result, o.err = fetchResult(ctx, client, cfg.serveURL, msg.ID)
+			o.latency = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	// Tally and verify determinism: all results of one payload must be
-	// byte-identical.
+	// byte-identical. Accepted submissions must also carry the trace ID
+	// the client minted — the propagation contract.
 	ref := make([][]byte, len(payloads))
-	var accepted, coalesced, cached, retried429, failures, mismatches int
+	var accepted, coalesced, cached, retried429, failures, mismatches, traceMismatches int
+	var latencies []time.Duration
 	for i := range outcomes {
 		o := &outcomes[i]
 		retried429 += o.retried429
@@ -334,6 +353,7 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "serbench: -serve: submission %d (%s): %v\n", i, payloads[o.payload].name, o.err)
 			continue
 		}
+		latencies = append(latencies, o.latency)
 		switch o.msg.Disposition {
 		case "coalesced":
 			coalesced++
@@ -341,6 +361,11 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 			cached++
 		default:
 			accepted++
+			if o.msg.TraceID != o.minted.String() {
+				traceMismatches++
+				fmt.Fprintf(stderr, "serbench: -serve: submission %d: sent trace %s, server answered %s\n",
+					i, o.minted, o.msg.TraceID)
+			}
 		}
 		if ref[o.payload] == nil {
 			ref[o.payload] = o.result
@@ -359,10 +384,89 @@ func runServe(cfg config, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  429 retries     %d\n", retried429)
 	fmt.Fprintf(stdout, "  failures        %d\n", failures)
 	fmt.Fprintf(stdout, "  nondeterminism  %d\n", mismatches)
-	if failures > 0 || mismatches > 0 {
+	if len(latencies) > 0 {
+		fmt.Fprintf(stdout, "  latency (submit→result) p50 %v  p95 %v  p99 %v  max %v\n",
+			telemetry.Quantile(latencies, 0.50).Round(time.Millisecond),
+			telemetry.Quantile(latencies, 0.95).Round(time.Millisecond),
+			telemetry.Quantile(latencies, 0.99).Round(time.Millisecond),
+			telemetry.Quantile(latencies, 1.0).Round(time.Millisecond))
+	}
+
+	traceFailures := 0
+	if cfg.tracePath != "" {
+		jobIDs := make([]string, 0, len(outcomes))
+		seen := make(map[string]bool)
+		for i := range outcomes {
+			if o := &outcomes[i]; o.err == nil && o.msg.ID != "" && !seen[o.msg.ID] {
+				seen[o.msg.ID] = true
+				jobIDs = append(jobIDs, o.msg.ID)
+			}
+		}
+		traceFailures = collectTraces(ctx, client, cfg, jobIDs, stdout, stderr)
+	}
+
+	if failures > 0 || mismatches > 0 || traceMismatches > 0 || traceFailures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// collectTraces fetches each job's persisted span tree, writes the
+// documents as JSONL to cfg.tracePath, prints the joined client/server
+// latency picture (queue wait vs. solve time from the server's spans),
+// and returns the number of jobs whose trace was missing or empty.
+func collectTraces(ctx context.Context, client *http.Client, cfg config, jobIDs []string, stdout, stderr io.Writer) int {
+	f, err := os.Create(cfg.tracePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "serbench: -serve: %v\n", err)
+		return len(jobIDs)
+	}
+	defer f.Close()
+	missing := 0
+	var queueWait, solve []time.Duration
+	for _, id := range jobIDs {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			strings.TrimRight(cfg.serveURL, "/")+"/v1/jobs/"+id+"/trace", nil)
+		if err != nil {
+			missing++
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintf(stderr, "serbench: -serve: trace %.12s: %v\n", id, err)
+			missing++
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "serbench: -serve: trace %.12s: HTTP %d\n", id, resp.StatusCode)
+			missing++
+			continue
+		}
+		doc, err := telemetry.DecodeTraceDoc(data)
+		if err != nil || doc.Root == nil || len(doc.Root.Children) == 0 {
+			fmt.Fprintf(stderr, "serbench: -serve: trace %.12s: empty or undecodable span tree\n", id)
+			missing++
+			continue
+		}
+		if qw := doc.Root.Find("queue-wait"); qw != nil {
+			queueWait = append(queueWait, time.Duration(qw.DurNS))
+		}
+		if sv := doc.Root.Find("solve"); sv != nil {
+			solve = append(solve, time.Duration(sv.DurNS))
+		}
+		f.Write(append(bytes.TrimRight(data, "\n"), '\n'))
+	}
+	fmt.Fprintf(stdout, "  traces          %d collected, %d missing -> %s\n", len(jobIDs)-missing, missing, cfg.tracePath)
+	if len(queueWait) > 0 || len(solve) > 0 {
+		fmt.Fprintf(stdout, "  server spans    queue-wait p50 %v p95 %v   solve p50 %v p95 %v\n",
+			telemetry.Quantile(queueWait, 0.50).Round(time.Millisecond),
+			telemetry.Quantile(queueWait, 0.95).Round(time.Millisecond),
+			telemetry.Quantile(solve, 0.50).Round(time.Millisecond),
+			telemetry.Quantile(solve, 0.95).Round(time.Millisecond))
+	}
+	return missing
 }
 
 func payloadNames(ps []payload) string {

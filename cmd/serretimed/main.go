@@ -12,8 +12,20 @@
 //	                          frames, words, seed, timeout, ...)
 //	GET  /v1/jobs/{id}        job status (tier, ΔSER, error class)
 //	GET  /v1/jobs/{id}/result retimed netlist download (.bench)
-//	GET  /healthz             liveness, queue depth
-//	GET  /metrics             Prometheus-style metrics
+//	GET  /v1/jobs/{id}/trace  the job's span tree (queue wait, tiers,
+//	                          pipeline phases, parallel shards) as JSON
+//	GET  /debug/jobs          live in-flight jobs: age, current phase,
+//	                          queue wait, worker utilization
+//	GET  /healthz             liveness, queue depth, build identity
+//	GET  /metrics             Prometheus-style metrics with exemplar
+//	                          trace IDs on the latency histograms
+//
+// Every accepted job is traced end to end: a trace ID is minted at
+// ingress (or adopted from the client's Traceparent header) and its
+// span tree is persisted next to the result under -data-dir, so traces
+// survive restarts and `seranalyze -tracedir DIR/traces` can aggregate
+// them into a fleet report. The -slowjob watchdog logs the open-span
+// stack of any job running past the deadline.
 //
 // A full queue answers 429 with Retry-After; SIGTERM/SIGINT drains
 // gracefully: the listener stops accepting, in-flight solves are
@@ -36,7 +48,7 @@
 //	serretimed [-addr :8080] [-queue 64] [-jobs N] [-solve-workers N]
 //	           [-timeout 5m] [-retries N] [-cache N] [-trace out.jsonl]
 //	           [-data-dir DIR] [-fsync always|interval|never]
-//	           [-fsync-interval 100ms]
+//	           [-fsync-interval 100ms] [-slowjob 2m]
 package main
 
 import (
@@ -74,6 +86,7 @@ func run(args []string) int {
 	dataDir := fs.String("data-dir", "", "persist jobs and results here; replayed on boot (empty = memory-only)")
 	fsyncPolicy := fs.String("fsync", "always", "WAL durability: always, interval or never")
 	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "max un-synced window under -fsync interval")
+	slowJob := fs.Duration("slowjob", 2*time.Minute, "log a stack-of-spans snapshot for jobs running longer than this (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -101,6 +114,7 @@ func run(args []string) int {
 		Timeout:      *timeout,
 		Retries:      *retries,
 		MaxJobs:      *cacheSize,
+		SlowJob:      *slowJob,
 		Recorder:     rec,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -12,8 +12,11 @@
 //     shards) happens inside a parallel section.
 //
 // With Workers == 1 a Run executes inline on the calling goroutine with
-// no forking, no panic recovery and no telemetry — the exact sequential
-// code path, byte for byte. Parallel runs capture worker panics into
+// no forking, no panic recovery and no counter telemetry — the exact
+// sequential code path, byte for byte (when the recorder is a
+// telemetry.ShardRecorder the inline run is still reported as one shard
+// span, so traced jobs see their parallel sections regardless of worker
+// count). Parallel runs capture worker panics into
 // guard.ErrInternal (a panic must not crash a server goroutine), observe
 // context cancellation via guard checkpoints before each shard, and
 // record utilization telemetry (par-runs / par-shards / par-busy-ns /
@@ -49,15 +52,23 @@ type Pool struct {
 	op      string
 	workers int
 	rec     telemetry.Recorder
+	shard   telemetry.ShardRecorder // nil unless rec wants shard spans
 	nop     bool
 }
 
 // New returns a pool of Normalize(workers) workers. op names the pool in
 // guard errors (timeouts, captured panics); rec receives the utilization
-// telemetry (nil records nothing).
+// telemetry (nil records nothing). If rec also implements
+// telemetry.ShardRecorder (a Trace, or a Tee containing one), every
+// shard execution — including the inline sequential path — is reported
+// to it with worker attribution.
 func New(op string, workers int, rec telemetry.Recorder) *Pool {
 	r := telemetry.OrNop(rec)
-	return &Pool{op: op, workers: Normalize(workers), rec: r, nop: r == telemetry.Nop}
+	p := &Pool{op: op, workers: Normalize(workers), rec: r, nop: r == telemetry.Nop}
+	if !p.nop {
+		p.shard, _ = r.(telemetry.ShardRecorder)
+	}
+	return p
 }
 
 // Workers returns the pool width.
@@ -89,7 +100,13 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int) error
 				return cerr
 			}
 		}
-		return fn(0, 0, n)
+		if p.shard == nil {
+			return fn(0, 0, n)
+		}
+		t0 := time.Now()
+		err := fn(0, 0, n)
+		p.shard.ShardSpan(p.op, 0, time.Since(t0), err)
+		return err
 	}
 
 	var start time.Time
@@ -118,7 +135,11 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(worker, lo, hi int) error
 					errs[i] = &guard.InternalError{Op: p.op, Value: r, Stack: debug.Stack()}
 				}
 				if !p.nop {
-					busy.Add(int64(time.Since(t0)))
+					d := time.Since(t0)
+					busy.Add(int64(d))
+					if p.shard != nil {
+						p.shard.ShardSpan(p.op, i, d, errs[i])
+					}
 				}
 			}()
 			if ctx != nil {

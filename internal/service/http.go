@@ -9,11 +9,15 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 
 	"serretime"
 	"serretime/internal/guard"
+	"serretime/internal/telemetry"
 )
 
 // Handler returns the service's HTTP front end:
@@ -21,13 +25,17 @@ import (
 //	POST /v1/retime           submit a netlist (raw or multipart body)
 //	GET  /v1/jobs/{id}        job status
 //	GET  /v1/jobs/{id}/result retimed netlist download
-//	GET  /healthz             liveness + queue depth
-//	GET  /metrics             Prometheus-style metrics
+//	GET  /v1/jobs/{id}/trace  the job's span tree (telemetry.TraceDoc)
+//	GET  /debug/jobs          live view of in-flight jobs + utilization
+//	GET  /healthz             liveness + queue depth + build info
+//	GET  /metrics             Prometheus-style metrics (with exemplars)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -75,13 +83,17 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // which selects the format — comes from the "name" query parameter,
 // default circuit.bench) or as the first file of a multipart form
 // (preferred field "netlist"; the part's filename selects the format).
-// Solve options come from query parameters; see optionsFromQuery.
+// Solve options come from query parameters; see optionsFromQuery. A
+// Traceparent request header (W3C form, or a bare 32-hex trace ID)
+// names the job's trace; without one the server mints an ID. The
+// response echoes the job's trace ID in X-Trace-Id and the JSON body.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	opt, err := optionsFromQuery(r)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
+	traceID, _ := telemetry.ParseTraceparent(r.Header.Get("Traceparent"))
 	body, name, err := s.readNetlist(r)
 	if err != nil {
 		s.writeError(w, err)
@@ -93,7 +105,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	j, disp, err := s.Submit(d, opt)
+	j, disp, err := s.SubmitTrace(d, opt, traceID)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -102,7 +114,61 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if disp == Cached {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, submitResponse{JobView: s.View(j), Disposition: disp.String()})
+	view := s.View(j)
+	if view.TraceID != "" {
+		w.Header().Set("X-Trace-Id", view.TraceID)
+	}
+	writeJSON(w, status, submitResponse{JobView: view, Disposition: disp.String()})
+}
+
+// handleTrace serves a job's span tree: the persisted document for a
+// finished job (identical across restarts), a live snapshot otherwise.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	doc := s.TraceJSON(j)
+	if len(doc) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job has no trace"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(doc)
+}
+
+// debugJobsResponse is the GET /debug/jobs live view.
+type debugJobsResponse struct {
+	Now           string        `json:"now"`
+	Uptime        string        `json:"uptime"`
+	Workers       int           `json:"workers"`
+	BusyWorkers   int           `json:"busy_workers"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	InFlight      []InFlightJob `json:"in_flight"`
+	Completed     int64         `json:"completed"`
+	Failed        int64         `json:"failed"`
+}
+
+func (s *Server) handleDebugJobs(w http.ResponseWriter, _ *http.Request) {
+	rows, busy, workers := s.InFlight()
+	depth, capa := s.QueueDepth()
+	s.mu.Lock()
+	completed, failed := s.completed, s.failed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, debugJobsResponse{
+		Now:           time.Now().UTC().Format(time.RFC3339),
+		Uptime:        time.Since(s.start).Round(time.Second).String(),
+		Workers:       workers,
+		BusyWorkers:   busy,
+		QueueDepth:    depth,
+		QueueCapacity: capa,
+		InFlight:      rows,
+		Completed:     completed,
+		Failed:        failed,
+	})
 }
 
 // readNetlist extracts the netlist stream and its format-carrying name
@@ -283,7 +349,15 @@ type healthResponse struct {
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
 	Workers       int    `json:"workers"`
+	BusyWorkers   int    `json:"busy_workers"`
 	Uptime        string `json:"uptime"`
+	// Build identity, so fleet dashboards can tell nodes apart: the Go
+	// toolchain, the module version, and the VCS revision when the
+	// binary carries them (runtime/debug.ReadBuildInfo).
+	GoVersion  string `json:"go_version,omitempty"`
+	Version    string `json:"version,omitempty"`
+	Revision   string `json:"revision,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// StoreMode is "memory" (no store configured), "disk" (journaling),
 	// or "memory-degraded" (a store write failed; persistence is off but
 	// the service keeps solving).
@@ -300,6 +374,27 @@ type healthResponse struct {
 	WALTruncatedTail  bool `json:"wal_truncated_tail,omitempty"`
 }
 
+// buildIdentity reads the binary's build info once: go version, module
+// version, and VCS revision (short). Absent fields stay empty (tests,
+// stripped builds).
+var buildIdentity = sync.OnceValues(func() (struct{ Go, Version, Revision string }, error) {
+	var id struct{ Go, Version, Revision string }
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id, nil
+	}
+	id.Go = info.GoVersion
+	if info.Main.Version != "" && info.Main.Version != "(devel)" {
+		id.Version = info.Main.Version
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+			id.Revision = kv.Value[:12]
+		}
+	}
+	return id, nil
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -309,11 +404,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	depth, capa := s.QueueDepth()
 	mode, errs, restored := s.StoreStatus()
+	build, _ := buildIdentity()
 	writeJSON(w, code, healthResponse{
 		Status:            status,
 		QueueDepth:        depth,
 		QueueCapacity:     capa,
 		Workers:           s.cfg.Workers,
+		BusyWorkers:       int(s.busy.Load()),
+		GoVersion:         build.Go,
+		Version:           build.Version,
+		Revision:          build.Revision,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		Uptime:            time.Since(s.start).Round(time.Second).String(),
 		StoreMode:         mode.String(),
 		StoreErrors:       errs,

@@ -96,18 +96,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("serretimed_cache_hit_ratio", fmt.Sprintf("%.6f", ratio), "fraction of submissions that avoided a fresh solve")
 
 	// Solve latency histogram (successful solves only), cumulative
-	// Prometheus buckets.
-	snap := s.lat.Snapshot()
+	// Prometheus buckets with OpenMetrics exemplars: each bucket carries
+	// the trace ID of the latest job that landed in it, so an operator
+	// can jump from a p99 bucket to `GET /v1/jobs/{id}/trace`.
+	snap, exemplars := s.lat.Snapshot()
 	fmt.Fprintf(&b, "# HELP serretimed_solve_seconds wall time of successful solves\n# TYPE serretimed_solve_seconds histogram\n")
-	var cum int64
-	for i, bound := range snap.Bounds {
-		cum += snap.Counts[i]
-		fmt.Fprintf(&b, "serretimed_solve_seconds_bucket{le=%q} %d\n", formatSeconds(bound), cum)
+	writeHistogram(&b, "serretimed_solve_seconds", "", snap, exemplars)
+
+	// Per-phase latency histograms across finished jobs: queue-wait and
+	// solve (depth 1), degradation tiers (depth 2), pipeline stages
+	// (depth 3), each bucket with its exemplar trace ID.
+	s.mu.Lock()
+	phases := make([]string, 0, len(s.phaseLat))
+	for name := range s.phaseLat {
+		phases = append(phases, name)
 	}
-	cum += snap.Counts[len(snap.Counts)-1]
-	fmt.Fprintf(&b, "serretimed_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "serretimed_solve_seconds_sum %.6f\n", snap.Sum.Seconds())
-	fmt.Fprintf(&b, "serretimed_solve_seconds_count %d\n", snap.Count)
+	sort.Strings(phases)
+	phaseHists := make([]*telemetry.ExemplarHistogram, len(phases))
+	for i, name := range phases {
+		phaseHists[i] = s.phaseLat[name]
+	}
+	s.mu.Unlock()
+	if len(phases) > 0 {
+		fmt.Fprintf(&b, "# HELP serretimed_phase_seconds per-job span durations by phase (queue-wait, solve, tiers, pipeline stages)\n# TYPE serretimed_phase_seconds histogram\n")
+		for i, name := range phases {
+			psnap, pex := phaseHists[i].Snapshot()
+			writeHistogram(&b, "serretimed_phase_seconds", fmt.Sprintf("phase=%q", name), psnap, pex)
+		}
+	}
 
 	// Solver-internal telemetry from the shared collector.
 	stats := s.col.Stats()
@@ -138,6 +154,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one histogram family member: cumulative
+// buckets (extra labels like `phase="solve"` merged into each line),
+// each bucket annotated with its exemplar in OpenMetrics syntax
+// (`# {trace_id="..."} value timestamp`) when a traced observation hit
+// it.
+func writeHistogram(b *strings.Builder, name, labels string, snap telemetry.HistogramSnapshot, exemplars []telemetry.Exemplar) {
+	bucketLabels := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	writeBucket := func(le string, cum int64, i int) {
+		fmt.Fprintf(b, "%s_bucket%s %d", name, bucketLabels(le), cum)
+		if i < len(exemplars) && exemplars[i].TraceID != "" {
+			ex := exemplars[i]
+			fmt.Fprintf(b, " # {trace_id=%q} %.6f %.3f",
+				ex.TraceID, ex.Value.Seconds(), float64(ex.When.UnixMilli())/1000)
+		}
+		b.WriteByte('\n')
+	}
+	var cum int64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		writeBucket(formatSeconds(bound), cum, i)
+	}
+	cum += snap.Counts[len(snap.Counts)-1]
+	writeBucket("+Inf", cum, len(snap.Counts)-1)
+	fmt.Fprintf(b, "%s_sum%s %.6f\n", name, suffix, snap.Sum.Seconds())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, snap.Count)
 }
 
 // formatSeconds renders a bucket bound as seconds with no trailing

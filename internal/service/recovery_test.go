@@ -198,7 +198,7 @@ type failingStore struct {
 
 func (f *failingStore) JournalSubmitted(string, string, []byte, []byte, string) error { return f.err }
 func (f *failingStore) JournalRunning(string) error                                   { return f.err }
-func (f *failingStore) JournalDone(string, store.ResultMeta, []byte) error            { return f.err }
+func (f *failingStore) JournalDone(string, store.ResultMeta, []byte, []byte) error    { return f.err }
 func (f *failingStore) JournalFailed(string, string, string) error                    { return f.err }
 func (f *failingStore) JournalEvicted(string) error                                   { return f.err }
 func (f *failingStore) Close() error                                                  { f.closed = true; return nil }

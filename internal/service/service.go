@@ -29,7 +29,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"serretime"
@@ -92,6 +94,16 @@ type Job struct {
 	result    []byte // retimed netlist, canonical .bench
 	err       error
 	hits      int64 // cache hits + in-flight coalescings onto this job
+
+	// trace is the live span tree (every accepted job gets one); traceID
+	// is its hex ID, stable for the job's lifetime. traceDoc is the
+	// marshaled telemetry.TraceDoc, set when the job reaches a terminal
+	// state (or restored from the store after a restart). warned marks
+	// that the slow-job watchdog already logged this job.
+	trace    *telemetry.Trace
+	traceID  string
+	traceDoc []byte
+	warned   bool
 }
 
 // JobView is an immutable snapshot of a Job for JSON responses.
@@ -109,6 +121,9 @@ type JobView struct {
 	ErrorClass string `json:"error_class,omitempty"`
 	QueuedFor  string `json:"queued_for,omitempty"`
 	Runtime    string `json:"runtime,omitempty"`
+	// TraceID is the job's trace identifier; GET /v1/jobs/{id}/trace
+	// returns the span tree it names.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -136,6 +151,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the backpressure hint returned with 429. Default 1s.
 	RetryAfter time.Duration
+	// SlowJob, when positive, arms the slow-job watchdog: any job
+	// running longer than this gets its stack-of-spans snapshot logged
+	// through Logf (once per job), so a wedged solve names the exact
+	// phase it is stuck in. Default 0: off.
+	SlowJob time.Duration
 	// Recorder receives solver telemetry in addition to the server's own
 	// collector (e.g. a telemetry.JSONLWriter for a persistent trace).
 	Recorder telemetry.Recorder
@@ -179,8 +199,9 @@ type Server struct {
 	cfg   Config
 	col   *telemetry.Collector
 	rec   telemetry.Recorder
-	lat   *telemetry.Histogram
+	lat   *telemetry.ExemplarHistogram
 	queue chan *Job
+	busy  atomic.Int64 // workers currently inside a solve
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -191,6 +212,10 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // finished-job eviction order (oldest first)
 	draining bool
+	// phaseLat aggregates per-phase latencies across finished jobs (one
+	// exemplared histogram per span name), rendered by /metrics. Guarded
+	// by mu; created lazily so zero-value servers in tests stay usable.
+	phaseLat map[string]*telemetry.ExemplarHistogram
 
 	// Persistence (guarded by mu). store is nilled on the first write
 	// failure: the server degrades to memory-only rather than failing
@@ -219,7 +244,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		col:     telemetry.NewCollector(),
-		lat:     telemetry.NewHistogram(telemetry.LatencyBounds()),
+		lat:     telemetry.NewExemplarHistogram(telemetry.LatencyBounds()),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		baseCtx: bctx,
 		cancel:  cancel,
@@ -235,6 +260,10 @@ func New(ctx context.Context, cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.SlowJob > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
 	}
 	return s
 }
@@ -274,6 +303,14 @@ func jobKey(d *serretime.Design, opt serretime.RobustOptions) (string, []byte, e
 // A full queue returns ErrQueueFull (HTTP 429 upstream); a draining
 // server returns ErrDraining (HTTP 503).
 func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job, Disposition, error) {
+	return s.SubmitTrace(d, opt, telemetry.TraceID{})
+}
+
+// SubmitTrace is Submit with a caller-supplied trace ID (from a
+// Traceparent header); a zero ID mints one. A coalesced or cached
+// submission keeps the existing job's trace — the job's identity, and
+// therefore its trace, belongs to the first submission.
+func (s *Server) SubmitTrace(d *serretime.Design, opt serretime.RobustOptions, traceID telemetry.TraceID) (*Job, Disposition, error) {
 	if opt.Timeout == 0 {
 		opt.Timeout = s.cfg.Timeout
 	}
@@ -283,6 +320,8 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 	if opt.Workers == 0 {
 		opt.Workers = s.cfg.SolveWorkers
 	}
+	// The recorder is result-invariant (excluded from CanonicalKey), so
+	// the per-job trace recorder set below never fragments the cache key.
 	opt.Recorder = s.rec
 	key, bench, err := jobKey(d, opt)
 	if err != nil {
@@ -310,6 +349,9 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 			s.dropFromOrder(key)
 		}
 	}
+	tr := telemetry.NewTrace(traceID)
+	tr.Begin("queue-wait")
+	opt.Recorder = telemetry.Tee(s.rec, tr)
 	j := &Job{
 		ID:        key,
 		Name:      d.Name(),
@@ -318,6 +360,8 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 		opts:      opt,
 		state:     StateQueued,
 		submitted: time.Now(),
+		trace:     tr,
+		traceID:   tr.ID().String(),
 	}
 	select {
 	case s.queue <- j:
@@ -328,7 +372,7 @@ func (s *Server) Submit(d *serretime.Design, opt serretime.RobustOptions) (*Job,
 	s.jobs[key] = j
 	s.accepted++
 	s.journal(func(st Store) error {
-		return st.JournalSubmitted(key, j.Name, bench, encodeOptions(opt), opt.CanonicalKey())
+		return st.JournalSubmitted(key, j.Name, bench, encodeOptions(j.opts), j.opts.CanonicalKey())
 	})
 	return j, Accepted, nil
 }
@@ -384,6 +428,7 @@ func (s *Server) View(j *Job) JobView {
 		Status:   j.state.String(),
 		DeltaSER: j.deltaSER,
 		Hits:     j.hits,
+		TraceID:  j.traceID,
 	}
 	switch j.state {
 	case StateQueued:
@@ -431,13 +476,22 @@ func (s *Server) runJob(j *Job) {
 		s.finishJob(j, err)
 		return
 	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
 	s.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
 	s.journal(func(st Store) error { return st.JournalRunning(j.ID) })
 	s.mu.Unlock()
+	if j.trace != nil {
+		j.trace.End("queue-wait", nil)
+		j.trace.Begin("solve")
+	}
 
 	res, err := j.design.RetimeRobust(s.baseCtx, j.opts)
+	if j.trace != nil {
+		j.trace.End("solve", err)
+	}
 	if err != nil {
 		s.finishJob(j, err)
 		return
@@ -447,7 +501,8 @@ func (s *Server) runJob(j *Job) {
 		s.finishJob(j, werr)
 		return
 	}
-	s.lat.Observe(time.Since(j.started))
+	doc := s.finalizeTrace(j, StateDone.String(), res.Tier.String(), res.Degraded)
+	s.lat.Observe(time.Since(j.started), traceIDOf(j))
 	s.mu.Lock()
 	j.state = StateDone
 	j.finished = time.Now()
@@ -459,12 +514,13 @@ func (s *Server) runJob(j *Job) {
 	if int(res.Tier) < len(s.byTier) {
 		s.byTier[res.Tier]++
 	}
+	s.observePhasesLocked(doc, traceIDOf(j))
 	s.journal(func(st Store) error {
 		return st.JournalDone(j.ID, store.ResultMeta{
 			Tier:     int(res.Tier),
 			Degraded: res.Degraded,
 			DeltaSER: j.deltaSER,
-		}, j.result)
+		}, j.result, j.traceDoc)
 	})
 	s.retainLocked(j.ID)
 	s.mu.Unlock()
@@ -472,18 +528,109 @@ func (s *Server) runJob(j *Job) {
 }
 
 func (s *Server) finishJob(j *Job, err error) {
+	doc := s.finalizeTrace(j, StateFailed.String(), "", false)
 	s.mu.Lock()
 	j.state = StateFailed
 	j.finished = time.Now()
 	j.err = err
 	s.failed++
 	s.byClass[guard.Classify(err)]++
+	s.observePhasesLocked(doc, traceIDOf(j))
 	s.journal(func(st Store) error {
 		return st.JournalFailed(j.ID, guard.Classify(err), err.Error())
 	})
 	s.retainLocked(j.ID)
 	s.mu.Unlock()
 	close(j.Done)
+}
+
+// finalizeTrace force-closes the job's span tree, marshals the persisted
+// document into j.traceDoc, and returns it for phase-histogram
+// observation. Safe on trace-less jobs (returns nil).
+func (s *Server) finalizeTrace(j *Job, status, tier string, degraded bool) *telemetry.TraceDoc {
+	if j.trace == nil {
+		return nil
+	}
+	j.trace.Finish()
+	doc := j.trace.Doc(j.ID, j.Name, status, tier, degraded)
+	j.traceDoc = doc.Encode()
+	return doc
+}
+
+func traceIDOf(j *Job) telemetry.TraceID {
+	if j.trace == nil {
+		return telemetry.TraceID{}
+	}
+	return j.trace.ID()
+}
+
+// phaseDepth bounds which spans feed the per-phase /metrics histograms:
+// depth 1 is queue-wait/solve, 2 the degradation tiers, 3 the pipeline
+// stages. Deeper merged inner-loop spans stay in the trace only.
+const phaseDepth = 3
+
+// observePhasesLocked feeds one finished job's span durations into the
+// per-phase exemplar histograms. Callers hold s.mu.
+func (s *Server) observePhasesLocked(doc *telemetry.TraceDoc, id telemetry.TraceID) {
+	if doc == nil || doc.Root == nil {
+		return
+	}
+	if s.phaseLat == nil {
+		s.phaseLat = make(map[string]*telemetry.ExemplarHistogram)
+	}
+	doc.Root.Walk(func(depth int, sp *telemetry.Span) {
+		if depth == 0 || depth > phaseDepth {
+			return
+		}
+		h := s.phaseLat[sp.Name]
+		if h == nil {
+			h = telemetry.NewExemplarHistogram(telemetry.LatencyBounds())
+			s.phaseLat[sp.Name] = h
+		}
+		h.Observe(time.Duration(sp.DurNS), id)
+	})
+}
+
+// watchdog periodically scans for running jobs older than Config.SlowJob
+// and logs each one's open-span stack once, so a wedged solve is
+// diagnosable from the daemon log alone.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	tick := s.cfg.SlowJob / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > 10*time.Second {
+		tick = 10 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			var slow []*Job
+			now := time.Now()
+			s.mu.Lock()
+			for _, j := range s.jobs {
+				if j.state == StateRunning && !j.warned && now.Sub(j.started) > s.cfg.SlowJob {
+					j.warned = true
+					slow = append(slow, j)
+				}
+			}
+			s.mu.Unlock()
+			for _, j := range slow {
+				stack := "(no trace)"
+				if j.trace != nil {
+					stack = j.trace.StackString()
+				}
+				s.logf("serretimed: slow job %.12s (%s, trace %s): running %v > %v; spans: %s",
+					j.ID, j.Name, j.traceID,
+					now.Sub(j.started).Round(time.Millisecond), s.cfg.SlowJob, stack)
+			}
+		}
+	}
 }
 
 // retainLocked appends a finished job to the eviction order and evicts
@@ -544,6 +691,91 @@ func (s *Server) Drain(ctx context.Context) error {
 			return nil
 		}
 	}
+}
+
+// TraceJSON returns a job's span tree as a marshaled telemetry.TraceDoc:
+// the persisted document for a finished (or restored) job, or a live
+// snapshot — open spans annotated with their elapsed time — for one
+// still queued or running. nil means the job has no trace (restored
+// from a store written before tracing existed).
+func (s *Server) TraceJSON(j *Job) []byte {
+	s.mu.Lock()
+	doc := j.traceDoc
+	tr := j.trace
+	st := j.state
+	tier := j.tier
+	s.mu.Unlock()
+	if len(doc) > 0 {
+		return doc
+	}
+	if tr == nil {
+		return nil
+	}
+	tierName := ""
+	if st == StateDone {
+		tierName = tier.String()
+	}
+	return tr.Doc(j.ID, j.Name, st.String(), tierName, false).Encode()
+}
+
+// InFlightJob is one row of the /debug/jobs live view.
+type InFlightJob struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Status  string `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Age is the time since submission; QueueWait the time spent (or
+	// being spent) waiting for a worker; Running the time inside the
+	// solve so far (running jobs only).
+	Age       string `json:"age"`
+	QueueWait string `json:"queue_wait"`
+	Running   string `json:"running,omitempty"`
+	// Phase is the innermost open span ("minimize", "par:sim.run", ...);
+	// Spans is the full open-span stack with per-span elapsed times.
+	Phase string `json:"phase,omitempty"`
+	Spans string `json:"spans,omitempty"`
+	Hits  int64  `json:"hits"`
+}
+
+// InFlight snapshots every queued or running job, oldest first, plus the
+// worker pool's instantaneous utilization — the data behind /debug/jobs.
+func (s *Server) InFlight() (jobs []InFlightJob, busyWorkers, totalWorkers int) {
+	now := time.Now()
+	s.mu.Lock()
+	live := make([]*Job, 0, 8)
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			live = append(live, j)
+		}
+	}
+	sort.Slice(live, func(i, k int) bool { return live[i].submitted.Before(live[k].submitted) })
+	rows := make([]InFlightJob, 0, len(live))
+	for _, j := range live {
+		row := InFlightJob{
+			ID:      j.ID,
+			Name:    j.Name,
+			Status:  j.state.String(),
+			TraceID: j.traceID,
+			Age:     now.Sub(j.submitted).Round(time.Millisecond).String(),
+			Hits:    j.hits,
+		}
+		switch j.state {
+		case StateQueued:
+			row.QueueWait = now.Sub(j.submitted).Round(time.Millisecond).String()
+		case StateRunning:
+			row.QueueWait = j.started.Sub(j.submitted).Round(time.Millisecond).String()
+			row.Running = now.Sub(j.started).Round(time.Millisecond).String()
+		}
+		if j.trace != nil {
+			if path := j.trace.CurrentPath(); len(path) > 0 {
+				row.Phase = path[len(path)-1]
+			}
+			row.Spans = j.trace.StackString()
+		}
+		rows = append(rows, row)
+	}
+	s.mu.Unlock()
+	return rows, int(s.busy.Load()), s.cfg.Workers
 }
 
 // Draining reports whether Drain has begun.

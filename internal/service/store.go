@@ -8,6 +8,7 @@ import (
 	"serretime"
 	"serretime/internal/guard"
 	"serretime/internal/store"
+	"serretime/internal/telemetry"
 )
 
 // Store is the persistence hook the server journals job lifecycle
@@ -21,7 +22,7 @@ import (
 type Store interface {
 	JournalSubmitted(id, name string, netlist, opts []byte, optKey string) error
 	JournalRunning(id string) error
-	JournalDone(id string, meta store.ResultMeta, result []byte) error
+	JournalDone(id string, meta store.ResultMeta, result, trace []byte) error
 	JournalFailed(id, class, msg string) error
 	JournalEvicted(id string) error
 	Close() error
@@ -211,6 +212,12 @@ func (s *Server) Restore(jobs []store.RecoveredJob, st store.Stats) RestoreSumma
 				degraded:  rj.Meta.Degraded,
 				deltaSER:  rj.Meta.DeltaSER,
 				result:    rj.Result,
+				traceDoc:  rj.Trace,
+			}
+			if len(rj.Trace) > 0 {
+				if doc, err := telemetry.DecodeTraceDoc(rj.Trace); err == nil {
+					j.traceID = doc.TraceID
+				}
 			}
 			close(j.Done)
 			s.mu.Lock()
@@ -254,6 +261,11 @@ func (s *Server) Restore(jobs []store.RecoveredJob, st store.Stats) RestoreSumma
 			continue
 		}
 
+		// A requeued job is a new solve: it gets a fresh trace, exactly
+		// as Submit gives one to a fresh submission.
+		tr := telemetry.NewTrace(telemetry.TraceID{})
+		tr.Begin("queue-wait")
+		opt.Recorder = telemetry.Tee(s.rec, tr)
 		j := &Job{
 			ID:        key,
 			Name:      d.Name(),
@@ -262,6 +274,8 @@ func (s *Server) Restore(jobs []store.RecoveredJob, st store.Stats) RestoreSumma
 			opts:      opt,
 			state:     StateQueued,
 			submitted: now,
+			trace:     tr,
+			traceID:   tr.ID().String(),
 		}
 		s.mu.Lock()
 		if _, exists := s.jobs[key]; exists {

@@ -123,6 +123,11 @@ type RecoveredJob struct {
 	Result  []byte
 	Meta    ResultMeta
 	Netlist []byte
+	// Trace is the job's persisted span-tree document (telemetry
+	// TraceDoc JSON), set for finished jobs that journaled one. Traces
+	// are advisory: a corrupt trace is quarantined but the job itself is
+	// still served.
+	Trace []byte
 }
 
 // Stats summarizes one recovery replay.
@@ -183,6 +188,7 @@ type record struct {
 	Opts     []byte  `json:"opts,omitempty"`
 	NetSHA   string  `json:"netsha,omitempty"`
 	ResSHA   string  `json:"ressha,omitempty"`
+	TraceSHA string  `json:"trasha,omitempty"`
 	Tier     int     `json:"tier,omitempty"`
 	Degraded bool    `json:"degraded,omitempty"`
 	DeltaSER float64 `json:"dser,omitempty"`
@@ -211,8 +217,14 @@ func (d *Disk) walPath() string             { return filepath.Join(d.dir, "wal.l
 func (d *Disk) intakeDir() string           { return filepath.Join(d.dir, "intake") }
 func (d *Disk) resultsDir() string          { return filepath.Join(d.dir, "results") }
 func (d *Disk) quarantineDir() string       { return filepath.Join(d.dir, "quarantine") }
+func (d *Disk) tracesDir() string           { return filepath.Join(d.dir, "traces") }
 func (d *Disk) intakePath(id string) string { return filepath.Join(d.intakeDir(), id) }
 func (d *Disk) resultPath(id string) string { return filepath.Join(d.resultsDir(), id) }
+func (d *Disk) tracePath(id string) string  { return filepath.Join(d.tracesDir(), id) }
+
+// TracesDir returns the directory of persisted per-job trace documents
+// (one JSON file per finished job) — the input of seranalyze -tracedir.
+func (d *Disk) TracesDir() string { return d.tracesDir() }
 
 // Open prepares the data directory layout. Journaling requires a
 // subsequent Recover (which also opens the appender), so a daemon can
@@ -228,7 +240,7 @@ func Open(o Options) (*Disk, error) {
 		o.SyncEvery = 100 * time.Millisecond
 	}
 	d := &Disk{dir: o.Dir, fs: o.FS, policy: o.Sync, every: o.SyncEvery}
-	for _, dir := range []string{o.Dir, d.intakeDir(), d.resultsDir(), d.quarantineDir()} {
+	for _, dir := range []string{o.Dir, d.intakeDir(), d.resultsDir(), d.quarantineDir(), d.tracesDir()} {
 		if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, guard.Storef("open", dir, err)
 		}
@@ -324,18 +336,27 @@ func (d *Disk) JournalRunning(id string) error {
 }
 
 // JournalDone persists a finished job: the result payload is written
-// atomically into results/, then the done record — carrying the
-// payload's checksum and the result metadata — is appended. A crash
-// between the two replays as a still-pending job (the orphaned result
-// is ignored and swept); after the append, the job is durably finished.
-func (d *Disk) JournalDone(id string, meta ResultMeta, result []byte) error {
+// atomically into results/ (and the job's trace document, when present,
+// into traces/), then the done record — carrying the payload checksums
+// and the result metadata — is appended. A crash between the writes
+// replays as a still-pending job (orphaned payloads are ignored and
+// swept); after the append, the job is durably finished. The trace is
+// advisory: a trace write failure downgrades to journaling the result
+// without one rather than failing the job.
+func (d *Disk) JournalDone(id string, meta ResultMeta, result, trace []byte) error {
 	resSHA, err := d.putPayload(d.resultPath(id), result)
 	if err != nil {
 		return err
 	}
 	d.fs.Crashpoint("store.result.written")
+	traceSHA := ""
+	if len(trace) > 0 {
+		if s, terr := d.putPayload(d.tracePath(id), trace); terr == nil {
+			traceSHA = s
+		}
+	}
 	return d.append(record{
-		Op: opDone, ID: id, ResSHA: resSHA,
+		Op: opDone, ID: id, ResSHA: resSHA, TraceSHA: traceSHA,
 		Tier: meta.Tier, Degraded: meta.Degraded, DeltaSER: meta.DeltaSER,
 	})
 }
@@ -555,7 +576,7 @@ func (d *Disk) quarantine(path string) {
 func (d *Disk) recoverDone(id string, j *jobState, st *Stats) (RecoveredJob, bool) {
 	result, ok := d.verifyPayload(d.resultPath(id), j.done.ResSHA, st)
 	if ok {
-		return RecoveredJob{
+		rj := RecoveredJob{
 			ID:     id,
 			Name:   j.rec.Name,
 			OptKey: j.rec.OptKey,
@@ -567,7 +588,13 @@ func (d *Disk) recoverDone(id string, j *jobState, st *Stats) (RecoveredJob, boo
 				Degraded: j.done.Degraded,
 				DeltaSER: j.done.DeltaSER,
 			},
-		}, true
+		}
+		// The trace is advisory: corruption quarantines the trace file
+		// and is counted, but the verified result is still served.
+		if j.done.TraceSHA != "" {
+			rj.Trace, _ = d.verifyPayload(d.tracePath(id), j.done.TraceSHA, st)
+		}
+		return rj, true
 	}
 	return d.recoverPending(id, j, st)
 }
@@ -613,10 +640,14 @@ func (d *Disk) compact(jobs []RecoveredJob) {
 				return err
 			}
 			if j.Done {
-				if err := writeLine(w, record{
+				done := record{
 					Op: opDone, ID: j.ID, ResSHA: sha(j.Result),
 					Tier: j.Meta.Tier, Degraded: j.Meta.Degraded, DeltaSER: j.Meta.DeltaSER,
-				}); err != nil {
+				}
+				if len(j.Trace) > 0 {
+					done.TraceSHA = sha(j.Trace)
+				}
+				if err := writeLine(w, done); err != nil {
 					return err
 				}
 			}
@@ -644,7 +675,7 @@ func writeLine(w io.Writer, r record) error {
 // sweep removes payloads of dead jobs and orphaned atomic-write temp
 // files (best effort).
 func (d *Disk) sweep(live map[string]bool, st *Stats) {
-	for _, dir := range []string{d.dir, d.intakeDir(), d.resultsDir()} {
+	for _, dir := range []string{d.dir, d.intakeDir(), d.resultsDir(), d.tracesDir()} {
 		entries, err := d.fs.ReadDir(dir)
 		if err != nil {
 			continue

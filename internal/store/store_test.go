@@ -36,7 +36,7 @@ func lifecycle(d *Disk) error {
 		},
 		func() error { return d.JournalRunning("job-a") },
 		func() error {
-			return d.JournalDone("job-a", ResultMeta{Tier: 2, Degraded: true, DeltaSER: -12.5}, []byte("result-a"))
+			return d.JournalDone("job-a", ResultMeta{Tier: 2, Degraded: true, DeltaSER: -12.5}, []byte("result-a"), []byte(`{"trace_id":"aa","root":{"name":"job"}}`))
 		},
 		func() error {
 			return d.JournalSubmitted("job-b", "ckt_b", []byte("netlist-b"), []byte(`{"o":2}`), "key-b")
@@ -50,7 +50,7 @@ func lifecycle(d *Disk) error {
 			return d.JournalSubmitted("job-d", "ckt_d", []byte("netlist-d"), []byte(`{"o":4}`), "key-d")
 		},
 		func() error { return d.JournalRunning("job-d") },
-		func() error { return d.JournalDone("job-d", ResultMeta{Tier: 0}, []byte("result-d")) },
+		func() error { return d.JournalDone("job-d", ResultMeta{Tier: 0}, []byte("result-d"), nil) },
 		func() error { return d.JournalEvicted("job-d") },
 		func() error { return d.Close() },
 	}
@@ -236,7 +236,7 @@ func TestCorruptResultQuarantined(t *testing.T) {
 	if err := d.JournalSubmitted("j1", "c1", []byte("netlist-1"), nil, "k1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.JournalDone("j1", ResultMeta{Tier: 1}, []byte("result-1")); err != nil {
+	if err := d.JournalDone("j1", ResultMeta{Tier: 1}, []byte("result-1"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -273,7 +273,7 @@ func TestCorruptEverythingDropsJob(t *testing.T) {
 	if err := d.JournalSubmitted("j1", "c1", []byte("netlist-1"), nil, "k1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.JournalDone("j1", ResultMeta{}, []byte("result-1")); err != nil {
+	if err := d.JournalDone("j1", ResultMeta{}, []byte("result-1"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Close(); err != nil {
@@ -336,7 +336,7 @@ func TestWriteErrorsSurfaceAsStoreErrors(t *testing.T) {
 	for name, call := range map[string]func() error{
 		"submitted": func() error { return d.JournalSubmitted("x", "n", []byte("nl"), nil, "k") },
 		"running":   func() error { return d.JournalRunning("x") },
-		"done":      func() error { return d.JournalDone("x", ResultMeta{}, []byte("r")) },
+		"done":      func() error { return d.JournalDone("x", ResultMeta{}, []byte("r"), nil) },
 		"failed":    func() error { return d.JournalFailed("x", "internal", "m") },
 		"evicted":   func() error { return d.JournalEvicted("x") },
 	} {
@@ -380,7 +380,7 @@ func TestCompactionShrinksWAL(t *testing.T) {
 		if err := d.JournalSubmitted(id, "c", []byte("netlist"), nil, "k"); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.JournalDone(id, ResultMeta{}, []byte("result")); err != nil {
+		if err := d.JournalDone(id, ResultMeta{}, []byte("result"), nil); err != nil {
 			t.Fatal(err)
 		}
 		if err := d.JournalEvicted(id); err != nil {
@@ -435,7 +435,7 @@ func TestSyncPolicies(t *testing.T) {
 			if err := d.JournalSubmitted("j", "c", []byte("n"), nil, "k"); err != nil {
 				t.Fatal(err)
 			}
-			if err := d.JournalDone("j", ResultMeta{}, []byte("r")); err != nil {
+			if err := d.JournalDone("j", ResultMeta{}, []byte("r"), nil); err != nil {
 				t.Fatal(err)
 			}
 			if err := d.Close(); err != nil {

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestTraceRoundTrip journals a done job with a trace payload and checks
+// the recovered job carries it back byte-identically.
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, jobs, _ := openTest(t, dir, nil)
+	if len(jobs) != 0 {
+		t.Fatalf("fresh store recovered %d jobs", len(jobs))
+	}
+	trace := []byte(`{"trace_id":"0102030405060708090a0b0c0d0e0f10","root":{"name":"job"}}`)
+	if err := d.JournalSubmitted("job-t", "ckt", []byte("netlist"), []byte(`{}`), "key-t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalRunning("job-t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("job-t", ResultMeta{Tier: 1}, []byte("result"), trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, jobs, st := openTest(t, dir, nil)
+	defer d2.Close()
+	if len(jobs) != 1 || !jobs[0].Done {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	if !bytes.Equal(jobs[0].Trace, trace) {
+		t.Fatalf("recovered trace = %q, want %q", jobs[0].Trace, trace)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDoneWithoutTrace checks a nil trace journals cleanly and recovers
+// with no trace attached (jobs from a solver run without tracing, or a
+// degraded trace write).
+func TestDoneWithoutTrace(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, nil)
+	if err := d.JournalSubmitted("job-n", "ckt", []byte("netlist"), []byte(`{}`), "key-n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("job-n", ResultMeta{}, []byte("result"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, jobs, _ := openTest(t, dir, nil)
+	defer d2.Close()
+	if len(jobs) != 1 || !jobs[0].Done || jobs[0].Trace != nil {
+		t.Fatalf("recovered %+v", jobs)
+	}
+}
+
+// TestCorruptTraceKeepsJob flips bytes in the persisted trace payload:
+// the trace is advisory, so recovery must quarantine only the trace and
+// still serve the job's result.
+func TestCorruptTraceKeepsJob(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, nil)
+	trace := []byte(`{"trace_id":"0102030405060708090a0b0c0d0e0f10","root":{"name":"job"}}`)
+	if err := d.JournalSubmitted("job-t", "ckt", []byte("netlist"), []byte(`{}`), "key-t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("job-t", ResultMeta{Tier: 1}, []byte("result"), trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := d.tracePath("job-t")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, jobs, st := openTest(t, dir, nil)
+	defer d2.Close()
+	if len(jobs) != 1 || !jobs[0].Done {
+		t.Fatalf("corrupt trace lost the job: %+v (stats %+v)", jobs, st)
+	}
+	if !bytes.Equal(jobs[0].Result, []byte("result")) {
+		t.Fatalf("result = %q", jobs[0].Result)
+	}
+	if jobs[0].Trace != nil {
+		t.Fatalf("corrupt trace served anyway: %q", jobs[0].Trace)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined trace", st)
+	}
+}
+
+// TestMissingTraceFileKeepsJob deletes the trace payload outright; same
+// advisory contract as corruption.
+func TestMissingTraceFileKeepsJob(t *testing.T) {
+	dir := t.TempDir()
+	d, _, _ := openTest(t, dir, nil)
+	trace := []byte(`{"trace_id":"0102030405060708090a0b0c0d0e0f10","root":{"name":"job"}}`)
+	if err := d.JournalSubmitted("job-t", "ckt", []byte("netlist"), []byte(`{}`), "key-t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JournalDone("job-t", ResultMeta{}, []byte("result"), trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(d.tracePath("job-t")); err != nil {
+		t.Fatal(err)
+	}
+	d2, jobs, _ := openTest(t, dir, nil)
+	defer d2.Close()
+	if len(jobs) != 1 || !jobs[0].Done || jobs[0].Trace != nil {
+		t.Fatalf("recovered %+v", jobs)
+	}
+	if !bytes.Equal(jobs[0].Result, []byte("result")) {
+		t.Fatalf("result = %q", jobs[0].Result)
+	}
+}

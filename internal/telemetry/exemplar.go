@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Exemplar is the most recent traced observation that landed in one
+// histogram bucket: the breadcrumb that lets an operator jump from a
+// p99 bucket on /metrics straight to the job that caused it.
+type Exemplar struct {
+	TraceID string
+	Value   time.Duration
+	When    time.Time
+}
+
+// ExemplarHistogram pairs a lock-free Histogram with per-bucket
+// exemplars. Observations without a trace ID update only the buckets,
+// so untraced paths keep the histogram's one-atomic-add cost; traced
+// observations additionally stamp their bucket's exemplar under a
+// mutex (once per job completion, never on the solve hot path).
+type ExemplarHistogram struct {
+	h  *Histogram
+	mu sync.Mutex
+	ex []Exemplar // len(bounds)+1, parallel to the buckets
+}
+
+// NewExemplarHistogram returns an exemplared histogram over the given
+// ascending upper bounds.
+func NewExemplarHistogram(bounds []time.Duration) *ExemplarHistogram {
+	h := NewHistogram(bounds)
+	return &ExemplarHistogram{h: h, ex: make([]Exemplar, len(h.counts))}
+}
+
+// Observe records one duration; a non-zero trace ID becomes the bucket's
+// exemplar.
+func (e *ExemplarHistogram) Observe(d time.Duration, trace TraceID) {
+	e.h.Observe(d)
+	if trace.IsZero() {
+		return
+	}
+	i := e.h.bucket(d)
+	e.mu.Lock()
+	e.ex[i] = Exemplar{TraceID: trace.String(), Value: d, When: time.Now()}
+	e.mu.Unlock()
+}
+
+// Snapshot copies the histogram state and the per-bucket exemplars
+// (zero-valued entries mean the bucket was never hit by a traced
+// observation).
+func (e *ExemplarHistogram) Snapshot() (HistogramSnapshot, []Exemplar) {
+	s := e.h.Snapshot()
+	e.mu.Lock()
+	ex := make([]Exemplar, len(e.ex))
+	copy(ex, e.ex)
+	e.mu.Unlock()
+	return s, ex
+}

@@ -39,6 +39,17 @@ func LatencyBounds() []time.Duration {
 
 // Observe records one duration (negative durations count as zero).
 func (h *Histogram) Observe(d time.Duration) {
+	h.counts[h.bucket(d)].Add(1)
+	if d < 0 {
+		d = 0
+	}
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// bucket returns the index of the bucket d lands in (len(bounds) is the
+// +Inf overflow bucket).
+func (h *Histogram) bucket(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
@@ -46,9 +57,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	for i < len(h.bounds) && d > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.sum.Add(int64(d))
-	h.n.Add(1)
+	return i
 }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Counts has

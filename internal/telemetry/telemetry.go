@@ -20,7 +20,10 @@
 // that recording on the optimizer's inner loop never allocates.
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Phase identifies a timed span. Phases form a static three-level
 // hierarchy (see Level): degradation tiers at the top, pipeline stages
@@ -311,6 +314,16 @@ type Recorder interface {
 	Gauge(g Gauge, v int64)
 }
 
+// ShardRecorder is an optional Recorder extension for per-shard worker
+// attribution: internal/par feeds one event per executed shard (op is
+// the pool's operation name, worker the 0-based executing worker).
+// Recorders that build span trees (Trace) implement it; the pool
+// discovers it with a one-time type assertion, so recorders that don't
+// care pay nothing.
+type ShardRecorder interface {
+	ShardSpan(op string, worker int, d time.Duration, err error)
+}
+
 // nopRecorder is the always-on default: empty bodies, zero allocations.
 type nopRecorder struct{}
 
@@ -355,6 +368,17 @@ func (m multi) Count(c Counter, n int64) {
 func (m multi) Gauge(g Gauge, v int64) {
 	for _, r := range m {
 		r.Gauge(g, v)
+	}
+}
+
+// ShardSpan forwards shard events to the members that understand them,
+// so a Tee of Collector and Trace still delivers worker attribution to
+// the Trace.
+func (m multi) ShardSpan(op string, worker int, d time.Duration, err error) {
+	for _, r := range m {
+		if sr, ok := r.(ShardRecorder); ok {
+			sr.ShardSpan(op, worker, d, err)
+		}
 	}
 }
 
