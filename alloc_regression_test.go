@@ -1,0 +1,91 @@
+package serretime
+
+// Allocation-regression guards for the flat CSR front end. The point of the
+// CSR refactor is that a steady-state analysis pass performs O(1)
+// allocations: the circuit's CSR view is cached, the signature planes and
+// fault slabs are pooled, and the per-gate dedup maps of the old TopoOrder
+// are gone. These tests pin that property with testing.AllocsPerRun so a
+// future change cannot quietly reintroduce per-node or per-gate allocation
+// (the pre-CSR baseline was ~1 alloc per gate in sim.Run: see
+// BENCH_pre_csr.txt). Run as part of the normal test suite and as an
+// explicit CI step.
+
+import (
+	"testing"
+
+	"serretime/internal/circuit"
+	"serretime/internal/gen"
+	"serretime/internal/graph"
+	"serretime/internal/obs"
+	"serretime/internal/sim"
+)
+
+func allocCircuit(t *testing.T) (*circuit.Circuit, *graph.Graph) {
+	t.Helper()
+	cc, err := gen.Generate(gen.Spec{Name: "alloc", Gates: 800, Conns: 1800, FFs: 90, Depth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := graph.FromCircuit(cc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, gg
+}
+
+func TestAllocRegressionSimRun(t *testing.T) {
+	c, _ := allocCircuit(t)
+	cfg := sim.Config{Words: 4, Frames: 10, Seed: 3, Workers: 1}
+	run := func() {
+		tr, err := sim.Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Release()
+	}
+	run() // warm the CSR cache and the trace pool
+	// Steady state: the Trace header, the RNG, the worker pool and a few
+	// slice headers — far below one allocation per gate (800 gates here).
+	const maxAllocs = 24
+	if got := testing.AllocsPerRun(20, run); got > maxAllocs {
+		t.Fatalf("sim.Run steady state: %.0f allocs/run, want <= %d", got, maxAllocs)
+	}
+}
+
+func TestAllocRegressionObsCompute(t *testing.T) {
+	c, _ := allocCircuit(t)
+	tr, err := sim.Run(c, sim.Config{Words: 4, Frames: 10, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	run := func() {
+		if _, err := obs.Compute(tr, obs.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	// The Result (Obs slice) is returned to the caller, so the floor is the
+	// result itself plus pool/closure headers — still independent of the
+	// node count beyond the single Obs slice.
+	const maxAllocs = 30
+	if got := testing.AllocsPerRun(20, run); got > maxAllocs {
+		t.Fatalf("obs.Compute steady state: %.0f allocs/run, want <= %d", got, maxAllocs)
+	}
+}
+
+func TestAllocRegressionComputeWD(t *testing.T) {
+	_, g := allocCircuit(t)
+	run := func() {
+		if _, err := g.ComputeWDPar(nil, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	// The W/D matrices themselves (2 slices + struct) dominate; scratch is
+	// pooled. Anything growing with |V| beyond the matrices is a regression.
+	const maxAllocs = 16
+	if got := testing.AllocsPerRun(10, run); got > maxAllocs {
+		t.Fatalf("ComputeWDPar steady state: %.0f allocs/run, want <= %d", got, maxAllocs)
+	}
+}

@@ -19,10 +19,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"serretime/internal/benchfmt"
 	"serretime/internal/circuit"
+	"serretime/internal/gen"
 	"serretime/internal/graph"
 	"serretime/internal/obs"
 	"serretime/internal/sim"
@@ -81,9 +83,11 @@ func BenchmarkFrontEnd(b *testing.B) {
 			b.Run(fmt.Sprintf("circuit=%s/phase=sim/workers=%d", name, w), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := sim.Run(c, cfg); err != nil {
+					tr, err := sim.Run(c, cfg)
+					if err != nil {
 						b.Fatal(err)
 					}
+					tr.Release()
 				}
 			})
 			tr, err := sim.Run(c, cfg)
@@ -124,5 +128,70 @@ func BenchmarkFrontEnd(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// par50k is generated on demand rather than checked in: at ~50k gates the
+// .bench text would be multiple megabytes of noise in the repository, and
+// gen.Generate is deterministic, so every run benchmarks the same netlist.
+var (
+	par50kOnce sync.Once
+	par50kC    *circuit.Circuit
+	par50kErr  error
+)
+
+func par50k(b *testing.B) *circuit.Circuit {
+	b.Helper()
+	par50kOnce.Do(func() {
+		par50kC, par50kErr = gen.Generate(gen.Spec{
+			Name: "par50k", Gates: 50000, Conns: 110000, FFs: 8000, Depth: 60,
+		})
+	})
+	if par50kErr != nil {
+		b.Fatal(par50kErr)
+	}
+	return par50kC
+}
+
+// BenchmarkFrontEndLarge exercises the CSR front end at a scale where the
+// flat layout matters: ~50k gates, where per-node allocation and pointer
+// chasing dominated the pre-CSR representation. Reduced signature width and
+// frame count keep the CI bench-smoke (-benchtime=1x) run fast.
+func BenchmarkFrontEndLarge(b *testing.B) {
+	c := par50k(b)
+	for _, w := range frontEndWorkers() {
+		cfg := sim.Config{Words: 4, Frames: 8, Seed: 1, Workers: w}
+		b.Run(fmt.Sprintf("circuit=par50k/phase=sim/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr, err := sim.Run(c, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.Release()
+			}
+		})
+		tr, err := sim.Run(c, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := firstGate(b, c)
+		b.Run(fmt.Sprintf("circuit=par50k/phase=inject/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.InjectFlip(tr, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("circuit=par50k/phase=obs/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := obs.Compute(tr, obs.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tr.Release()
 	}
 }

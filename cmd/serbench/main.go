@@ -160,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.words, "words", 4, "signature width in 64-bit words")
 	fs.StringVar(&cfg.engine, "engine", "closure", "optimizer engine: closure or forest")
 	fs.BoolVar(&cfg.verify, "verify", false, "co-simulate every optimizer move for sequential equivalence")
-	fs.IntVar(&cfg.autoCap, "autocap", 12000, "with -scale auto, target gate count per circuit")
+	fs.IntVar(&cfg.autoCap, "autocap", 12000, "with -scale auto, target gate count per circuit; 12000 assumes the flat CSR engine (README \"Benchmark scaling\"), lower it on memory-constrained hosts")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-attempt wall-clock budget per circuit (0 = unbounded)")
 	fs.IntVar(&cfg.retries, "retries", 0, "extra attempts per degradation tier after a transient failure")
 	fs.IntVar(&cfg.stallSteps, "stallsteps", 0, "abort an optimizer run after this many steps without improvement (0 = off)")

@@ -85,6 +85,15 @@ func TestFrontEndDeterminismSim(t *testing.T) {
 					t.Fatal(err)
 				}
 				traceEqual(t, ref, tr, fmt.Sprintf("%s words=%d workers=%d", name, words, w))
+				// Release and re-run: a trace built on a recycled plane from
+				// the pool must be bit-identical to one on fresh memory.
+				tr.Release()
+				tr, err = sim.Run(c, sim.Config{Words: words, Frames: 11, Seed: 7, Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				traceEqual(t, ref, tr, fmt.Sprintf("%s words=%d workers=%d pooled", name, words, w))
+				tr.Release()
 			}
 		}
 	}

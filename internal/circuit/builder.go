@@ -86,7 +86,12 @@ func (b *Builder) Build() (*Circuit, error) {
 			fanin[j] = fid
 		}
 		c.nodes[id].Fanin = fanin
-		for _, f := range dedupIDs(fanin) {
+		epoch := c.dedupBegin()
+		for _, f := range fanin {
+			if c.dedupMark[f] == epoch {
+				continue
+			}
+			c.dedupMark[f] = epoch
 			c.nodes[f].Fanout = append(c.nodes[f].Fanout, id)
 		}
 	}

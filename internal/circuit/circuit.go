@@ -10,6 +10,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID indexes a node within a Circuit. IDs are dense: 0..len(Nodes)-1.
@@ -148,6 +149,51 @@ func (f Func) Eval(in []uint64) uint64 {
 	panic(fmt.Sprintf("circuit: Eval of unknown function %d", uint8(f)))
 }
 
+// EvalFanin computes the function over fanin signatures read directly from
+// a node-major value plane: input j is vals[int(fanin[j])*stride+w]. It is
+// Eval without the gather copy — the word operations run in the same order
+// over the same values, so the result is bit-identical.
+func (f Func) EvalFanin(vals []uint64, fanin []NodeID, stride, w int) uint64 {
+	switch f {
+	case FnConst0:
+		return 0
+	case FnConst1:
+		return ^uint64(0)
+	case FnBuf:
+		return vals[int(fanin[0])*stride+w]
+	case FnNot:
+		return ^vals[int(fanin[0])*stride+w]
+	case FnAnd, FnNand:
+		v := ^uint64(0)
+		for _, fid := range fanin {
+			v &= vals[int(fid)*stride+w]
+		}
+		if f == FnNand {
+			v = ^v
+		}
+		return v
+	case FnOr, FnNor:
+		var v uint64
+		for _, fid := range fanin {
+			v |= vals[int(fid)*stride+w]
+		}
+		if f == FnNor {
+			v = ^v
+		}
+		return v
+	case FnXor, FnXnor:
+		var v uint64
+		for _, fid := range fanin {
+			v ^= vals[int(fid)*stride+w]
+		}
+		if f == FnXnor {
+			v = ^v
+		}
+		return v
+	}
+	panic(fmt.Sprintf("circuit: EvalFanin of unknown function %d", uint8(f)))
+}
+
 // Node is one element of a circuit.
 type Node struct {
 	// Name is the net name of the node's output. Unique within a circuit.
@@ -175,6 +221,34 @@ type Circuit struct {
 	pos []NodeID
 	// pis caches the primary inputs in declaration order.
 	pis []NodeID
+
+	// csr is the cached flat view (see csr.go), invalidated by any
+	// mutation; csrMu serializes its construction.
+	csr   *CSR
+	csrMu sync.Mutex
+
+	// dedupMark/dedupEpoch are the fanout-dedup scratch shared by add and
+	// Builder.Build: an epoch stamp per node replaces the per-call map the
+	// construction path used to allocate, so building an N-gate netlist
+	// costs O(1) dedup allocations instead of O(N). Only mutating calls
+	// touch the scratch, which are single-goroutine by contract.
+	dedupMark  []uint32
+	dedupEpoch uint32
+}
+
+// dedupBegin sizes the dedup scratch to the current node count and opens
+// a fresh epoch. A node f is "seen" this epoch iff dedupMark[f] equals
+// the returned epoch.
+func (c *Circuit) dedupBegin() uint32 {
+	if len(c.dedupMark) < len(c.nodes) {
+		c.dedupMark = append(c.dedupMark, make([]uint32, len(c.nodes)-len(c.dedupMark))...)
+	}
+	c.dedupEpoch++
+	if c.dedupEpoch == 0 { // wrapped: stale stamps become ambiguous
+		clear(c.dedupMark)
+		c.dedupEpoch = 1
+	}
+	return c.dedupEpoch
 }
 
 // New returns an empty circuit with the given design name.
@@ -237,6 +311,7 @@ func (c *Circuit) MarkPO(id NodeID) error {
 		}
 	}
 	c.pos = append(c.pos, id)
+	c.csr = nil
 	return nil
 }
 
@@ -255,25 +330,16 @@ func (c *Circuit) add(n Node) (NodeID, error) {
 	id := NodeID(len(c.nodes))
 	c.nodes = append(c.nodes, n)
 	c.byName[n.Name] = id
-	for _, f := range dedupIDs(n.Fanin) {
+	c.csr = nil
+	epoch := c.dedupBegin()
+	for _, f := range n.Fanin {
+		if c.dedupMark[f] == epoch {
+			continue
+		}
+		c.dedupMark[f] = epoch
 		c.nodes[f].Fanout = append(c.nodes[f].Fanout, id)
 	}
 	return id, nil
-}
-
-func dedupIDs(ids []NodeID) []NodeID {
-	if len(ids) <= 1 {
-		return ids
-	}
-	seen := make(map[NodeID]bool, len(ids))
-	out := make([]NodeID, 0, len(ids))
-	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, id)
-		}
-	}
-	return out
 }
 
 // Counts reports the number of PIs, POs, combinational gates and DFFs.
@@ -300,13 +366,23 @@ func (c *Circuit) TopoOrder() ([]NodeID, error) {
 	n := len(c.nodes)
 	order := make([]NodeID, 0, n)
 	indeg := make([]int32, n)
+	// mark dedups multi-pin fanins with a per-gate epoch (the gate index
+	// itself), one allocation for the whole pass. TopoOrder stays safe for
+	// concurrent readers, so it does not borrow the circuit's dedup
+	// scratch.
+	mark := make([]int32, n)
 	for i := range c.nodes {
 		nd := &c.nodes[i]
 		if nd.Kind != KindGate {
 			continue // PIs and DFFs are sources
 		}
-		// Combinational in-degree counts only gate fanins.
-		for _, f := range dedupIDs(nd.Fanin) {
+		// Combinational in-degree counts only distinct gate fanins.
+		epoch := int32(i) + 1
+		for _, f := range nd.Fanin {
+			if mark[f] == epoch {
+				continue
+			}
+			mark[f] = epoch
 			if c.nodes[f].Kind == KindGate {
 				indeg[i]++
 			}

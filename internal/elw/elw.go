@@ -66,14 +66,14 @@ func Exact(g *graph.Graph, r graph.Retiming, p Params, maxIntervals int) ([]inte
 		u := order[i]
 		var s interval.Set
 		for _, eid := range g.Out(u) {
-			e := g.Edge(eid)
-			if e.To == graph.Host || g.WR(eid, r) > 0 {
+			to := g.EdgeTo(eid)
+			if to == graph.Host || g.WR(eid, r) > 0 {
 				// Latched by a register on this edge (or sampled by the
 				// environment at a primary output).
 				s.UnionInPlace(base)
 				continue
 			}
-			s.UnionInPlace(out[e.To].Shift(-g.Delay(e.To)))
+			s.UnionInPlace(out[to].Shift(-g.Delay(to)))
 		}
 		if maxIntervals > 0 && s.Count() > maxIntervals {
 			s = coalesce(s, maxIntervals)
@@ -117,12 +117,12 @@ func RegisterWindows(g *graph.Graph, r graph.Retiming, p Params, exact []interva
 		if g.WR(eid, r) <= 0 {
 			continue
 		}
-		e := g.Edge(eid)
-		if e.To == graph.Host {
+		to := g.EdgeTo(eid)
+		if to == graph.Host {
 			out[i] = base
 			continue
 		}
-		out[i] = exact[e.To].Shift(-g.Delay(e.To))
+		out[i] = exact[to].Shift(-g.Delay(to))
 	}
 	return out
 }
@@ -213,8 +213,8 @@ func (lab *Labels) RelabelVertex(g *graph.Graph, p Params, wr []int32, u graph.V
 	lab.RT[u] = graph.Host
 	lab.HasWindow[u] = false
 	for _, eid := range g.Out(u) {
-		e := g.Edge(eid)
-		if e.To == graph.Host || wr[eid] > 0 {
+		to := g.EdgeTo(eid)
+		if to == graph.Host || wr[eid] > 0 {
 			if l := p.Phi - p.Ts; l < lab.L[u] {
 				lab.L[u] = l
 				lab.LT[u] = u
@@ -226,7 +226,7 @@ func (lab *Labels) RelabelVertex(g *graph.Graph, p Params, wr []int32, u graph.V
 			lab.HasWindow[u] = true
 			continue
 		}
-		v := e.To
+		v := to
 		if !lab.HasWindow[v] {
 			continue
 		}
@@ -293,7 +293,7 @@ func (lab *Labels) CheckP1(g *graph.Graph) (graph.VertexID, bool) {
 // nearest latch point, i.e. d(v) + Φ + Th − R(v). The quantity is
 // independent of Φ (R is pinned at Φ+Th minus the downstream path).
 func (lab *Labels) HoldSlack(g *graph.Graph, p Params, eid graph.EdgeID) float64 {
-	v := g.Edge(eid).To
+	v := g.EdgeTo(eid)
 	return g.Delay(v) + p.Phi + p.Th - lab.R[v]
 }
 
@@ -304,11 +304,11 @@ func (lab *Labels) CheckP2(g *graph.Graph, r graph.Retiming, p Params, rmin floa
 	const eps = 1e-9
 	for i := 0; i < g.NumEdges(); i++ {
 		eid := graph.EdgeID(i)
-		e := g.Edge(eid)
-		if e.To == graph.Host || g.WR(eid, r) <= 0 {
+		to := g.EdgeTo(eid)
+		if to == graph.Host || g.WR(eid, r) <= 0 {
 			continue
 		}
-		if !lab.HasWindow[e.To] {
+		if !lab.HasWindow[to] {
 			continue
 		}
 		if lab.HoldSlack(g, p, eid) < rmin-eps {
@@ -326,8 +326,8 @@ func (lab *Labels) MinHoldSlack(g *graph.Graph, r graph.Retiming, p Params) (flo
 	found := false
 	for i := 0; i < g.NumEdges(); i++ {
 		eid := graph.EdgeID(i)
-		e := g.Edge(eid)
-		if e.To == graph.Host || g.WR(eid, r) <= 0 || !lab.HasWindow[e.To] {
+		to := g.EdgeTo(eid)
+		if to == graph.Host || g.WR(eid, r) <= 0 || !lab.HasWindow[to] {
 			continue
 		}
 		if s := lab.HoldSlack(g, p, eid); s < mn {

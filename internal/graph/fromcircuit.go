@@ -140,19 +140,24 @@ func (g *Graph) Rebase(r Retiming) (*Graph, error) {
 	if err := g.CheckLegal(r); err != nil {
 		return nil, err
 	}
+	// Everything but the base weights is shared: names, delays, the edge
+	// endpoint arrays and the CSR adjacency are immutable.
 	out := &Graph{
 		names:    g.names,
 		delay:    g.delay,
-		edges:    make([]Edge, len(g.edges)),
-		out:      g.out,
-		in:       g.in,
+		eFrom:    g.eFrom,
+		eTo:      g.eTo,
+		eW:       make([]int32, len(g.eW)),
+		ePort:    g.ePort,
+		outStart: g.outStart,
+		outList:  g.outList,
+		inStart:  g.inStart,
+		inList:   g.inList,
 		vertexOf: g.vertexOf,
 		nodeOf:   g.nodeOf,
 	}
-	for i := range g.edges {
-		e := g.edges[i]
-		e.W = g.WR(EdgeID(i), r)
-		out.edges[i] = e
+	for i := range g.eW {
+		out.eW[i] = g.WR(EdgeID(i), r)
 	}
 	return out, nil
 }

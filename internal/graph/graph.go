@@ -6,6 +6,13 @@
 // count w(e), and each vertex a delay d(v). A retiming is an integer vertex
 // labeling r with r(host) = 0; the retimed register count of an edge is
 // w_r(u,v) = w(u,v) + r(v) - r(u).
+//
+// The representation is flat and index-based (DESIGN.md §15): edge
+// attributes live in parallel slices indexed by EdgeID, and the adjacency
+// is compressed-sparse-row — one contiguous EdgeID array per direction
+// with an offset array beside it. Out(v) and In(v) return sub-slices of
+// the packed arrays, so iteration touches consecutive memory and the
+// whole graph costs O(1) allocations per direction regardless of |V|.
 package graph
 
 import (
@@ -39,9 +46,20 @@ type Edge struct {
 type Graph struct {
 	names []string
 	delay []float64
-	edges []Edge
-	out   [][]EdgeID
-	in    [][]EdgeID
+
+	// Edge attributes as parallel slices indexed by EdgeID (the hot paths
+	// — WR, label sweeps, W/D row fills — read single fields, so keeping
+	// the fields in separate dense arrays beats an array-of-struct layout).
+	eFrom, eTo []VertexID
+	eW         []int32
+	ePort      []int32
+
+	// CSR adjacency: the out-edges of v are outList[outStart[v]:
+	// outStart[v+1]] in ascending EdgeID order; likewise for in-edges.
+	outStart []int32
+	outList  []EdgeID
+	inStart  []int32
+	inList   []EdgeID
 
 	// vertexOf maps a circuit gate node to its vertex, if the graph was
 	// extracted from a circuit (nil otherwise).
@@ -63,8 +81,6 @@ func NewBuilder() *Builder {
 	g := &Graph{
 		names: []string{"<host>"},
 		delay: []float64{0},
-		out:   [][]EdgeID{nil},
-		in:    [][]EdgeID{nil},
 		nodeOf: []circuit.NodeID{
 			circuit.InvalidNode,
 		},
@@ -77,8 +93,6 @@ func (b *Builder) AddVertex(name string, delay float64) VertexID {
 	id := VertexID(len(b.g.names))
 	b.g.names = append(b.g.names, name)
 	b.g.delay = append(b.g.delay, delay)
-	b.g.out = append(b.g.out, nil)
-	b.g.in = append(b.g.in, nil)
 	b.g.nodeOf = append(b.g.nodeOf, circuit.InvalidNode)
 	return id
 }
@@ -92,15 +106,46 @@ func (b *Builder) addEdge(from, to VertexID, w int32, port int32) EdgeID {
 	if w < 0 {
 		panic(fmt.Sprintf("graph: negative edge weight %d", w))
 	}
-	id := EdgeID(len(b.g.edges))
-	b.g.edges = append(b.g.edges, Edge{From: from, To: to, W: w, SrcPort: port})
-	b.g.out[from] = append(b.g.out[from], id)
-	b.g.in[to] = append(b.g.in[to], id)
+	g := b.g
+	id := EdgeID(len(g.eFrom))
+	g.eFrom = append(g.eFrom, from)
+	g.eTo = append(g.eTo, to)
+	g.eW = append(g.eW, w)
+	g.ePort = append(g.ePort, port)
 	return id
 }
 
-// Build finalizes and returns the graph.
-func (b *Builder) Build() *Graph { return b.g }
+// Build packs the CSR adjacency and returns the graph. No vertices or
+// edges may be added afterwards.
+func (b *Builder) Build() *Graph {
+	g := b.g
+	n := len(g.names)
+	m := len(g.eFrom)
+	g.outStart = make([]int32, n+1)
+	g.inStart = make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		g.outStart[g.eFrom[i]+1]++
+		g.inStart[g.eTo[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.outStart[v+1] += g.outStart[v]
+		g.inStart[v+1] += g.inStart[v]
+	}
+	g.outList = make([]EdgeID, m)
+	g.inList = make([]EdgeID, m)
+	outNext := append([]int32(nil), g.outStart[:n]...)
+	inNext := append([]int32(nil), g.inStart[:n]...)
+	// Ascending EdgeID fill keeps every per-vertex list in ascending edge
+	// order (the order incremental append used to produce).
+	for i := 0; i < m; i++ {
+		f, t := g.eFrom[i], g.eTo[i]
+		g.outList[outNext[f]] = EdgeID(i)
+		outNext[f]++
+		g.inList[inNext[t]] = EdgeID(i)
+		inNext[t]++
+	}
+	return g
+}
 
 // NumVertices returns the vertex count including the host.
 func (g *Graph) NumVertices() int { return len(g.names) }
@@ -109,7 +154,7 @@ func (g *Graph) NumVertices() int { return len(g.names) }
 func (g *Graph) NumGates() int { return len(g.names) - 1 }
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.eFrom) }
 
 // Name returns the vertex name.
 func (g *Graph) Name(v VertexID) string { return g.names[v] }
@@ -117,14 +162,29 @@ func (g *Graph) Name(v VertexID) string { return g.names[v] }
 // Delay returns d(v).
 func (g *Graph) Delay(v VertexID) float64 { return g.delay[v] }
 
-// Edge returns the edge record.
-func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+// Edge returns the edge record, assembled from the parallel attribute
+// arrays. Hot paths that need a single field should use EdgeFrom, EdgeTo
+// or EdgeW instead.
+func (g *Graph) Edge(e EdgeID) Edge {
+	return Edge{From: g.eFrom[e], To: g.eTo[e], W: g.eW[e], SrcPort: g.ePort[e]}
+}
 
-// Out returns the out-edge IDs of v. Callers must not modify it.
-func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+// EdgeFrom returns the source vertex of e.
+func (g *Graph) EdgeFrom(e EdgeID) VertexID { return g.eFrom[e] }
 
-// In returns the in-edge IDs of v. Callers must not modify it.
-func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+// EdgeTo returns the target vertex of e.
+func (g *Graph) EdgeTo(e EdgeID) VertexID { return g.eTo[e] }
+
+// EdgeW returns the base (unretimed) register count of e.
+func (g *Graph) EdgeW(e EdgeID) int32 { return g.eW[e] }
+
+// Out returns the out-edge IDs of v, a sub-slice of the packed CSR
+// adjacency in ascending EdgeID order. Callers must not modify it.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.outList[g.outStart[v]:g.outStart[v+1]] }
+
+// In returns the in-edge IDs of v, a sub-slice of the packed CSR
+// adjacency in ascending EdgeID order. Callers must not modify it.
+func (g *Graph) In(v VertexID) []EdgeID { return g.inList[g.inStart[v]:g.inStart[v+1]] }
 
 // VertexOf returns the vertex extracted for a circuit gate node.
 func (g *Graph) VertexOf(n circuit.NodeID) (VertexID, bool) {
@@ -147,17 +207,16 @@ func (r Retiming) Clone() Retiming { return append(Retiming(nil), r...) }
 
 // WR returns the retimed register count w_r(e) = w(e) + r(to) - r(from).
 func (g *Graph) WR(e EdgeID, r Retiming) int32 {
-	ed := &g.edges[e]
-	return ed.W + r[ed.To] - r[ed.From]
+	return g.eW[e] + r[g.eTo[e]] - r[g.eFrom[e]]
 }
 
 // EdgeWeights materializes w_r for every edge under r, indexed by EdgeID.
 // The slice is the representation the incremental solver state keeps
 // current across tentative moves (see internal/solverstate).
 func (g *Graph) EdgeWeights(r Retiming) []int32 {
-	wr := make([]int32, len(g.edges))
-	for i := range g.edges {
-		wr[i] = g.WR(EdgeID(i), r)
+	wr := make([]int32, len(g.eW))
+	for i := range g.eW {
+		wr[i] = g.eW[i] + r[g.eTo[i]] - r[g.eFrom[i]]
 	}
 	return wr
 }
@@ -170,10 +229,9 @@ func (g *Graph) CheckLegal(r Retiming) error {
 	if r[Host] != 0 {
 		return fmt.Errorf("graph: host retimed (r=%d)", r[Host])
 	}
-	for i := range g.edges {
+	for i := range g.eW {
 		if w := g.WR(EdgeID(i), r); w < 0 {
-			e := g.edges[i]
-			return fmt.Errorf("graph: edge %s->%s has w_r=%d", g.names[e.From], g.names[e.To], w)
+			return fmt.Errorf("graph: edge %s->%s has w_r=%d", g.names[g.eFrom[i]], g.names[g.eTo[i]], w)
 		}
 	}
 	return nil
@@ -183,7 +241,7 @@ func (g *Graph) CheckLegal(r Retiming) error {
 // (the register measure used by eq. 5 of the paper).
 func (g *Graph) TotalEdgeRegisters(r Retiming) int64 {
 	var n int64
-	for i := range g.edges {
+	for i := range g.eW {
 		n += int64(g.WR(EdgeID(i), r))
 	}
 	return n
@@ -195,13 +253,13 @@ func (g *Graph) TotalEdgeRegisters(r Retiming) int64 {
 // w_r over the group.
 func (g *Graph) SharedRegisters(r Retiming) int64 {
 	var n int64
-	for v := range g.out {
+	for v := 0; v < g.NumVertices(); v++ {
 		if VertexID(v) == Host {
 			// Group host out-edges by source port.
 			maxPort := make(map[int32]int32)
-			for _, e := range g.out[v] {
+			for _, e := range g.Out(Host) {
 				w := g.WR(e, r)
-				p := g.edges[e].SrcPort
+				p := g.ePort[e]
 				if w > maxPort[p] {
 					maxPort[p] = w
 				}
@@ -212,7 +270,7 @@ func (g *Graph) SharedRegisters(r Retiming) int64 {
 			continue
 		}
 		var mx int32
-		for _, e := range g.out[v] {
+		for _, e := range g.Out(VertexID(v)) {
 			if w := g.WR(e, r); w > mx {
 				mx = w
 			}
@@ -230,13 +288,12 @@ func (g *Graph) SharedRegisters(r Retiming) int64 {
 func (g *Graph) ZeroWeightTopo(r Retiming) ([]VertexID, error) {
 	n := g.NumVertices()
 	indeg := make([]int32, n)
-	for i := range g.edges {
-		e := &g.edges[i]
-		if e.From == Host || e.To == Host {
+	for i := range g.eW {
+		if g.eFrom[i] == Host || g.eTo[i] == Host {
 			continue
 		}
 		if g.WR(EdgeID(i), r) == 0 {
-			indeg[e.To]++
+			indeg[g.eTo[i]]++
 		}
 	}
 	queue := make([]VertexID, 0, n)
@@ -250,14 +307,14 @@ func (g *Graph) ZeroWeightTopo(r Retiming) ([]VertexID, error) {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		order = append(order, v)
-		for _, eid := range g.out[v] {
-			e := &g.edges[eid]
-			if e.To == Host || g.WR(eid, r) != 0 {
+		for _, eid := range g.Out(v) {
+			to := g.eTo[eid]
+			if to == Host || g.WR(eid, r) != 0 {
 				continue
 			}
-			indeg[e.To]--
-			if indeg[e.To] == 0 {
-				queue = append(queue, e.To)
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
 			}
 		}
 	}
@@ -280,13 +337,13 @@ func (g *Graph) ArrivalTimes(r Retiming) ([]float64, float64, error) {
 	var crit float64
 	for _, v := range order {
 		a := 0.0
-		for _, eid := range g.in[v] {
-			e := &g.edges[eid]
-			if e.From == Host || g.WR(eid, r) != 0 {
+		for _, eid := range g.In(v) {
+			from := g.eFrom[eid]
+			if from == Host || g.WR(eid, r) != 0 {
 				continue
 			}
-			if arr[e.From] > a {
-				a = arr[e.From]
+			if arr[from] > a {
+				a = arr[from]
 			}
 		}
 		arr[v] = a + g.delay[v]
@@ -301,12 +358,11 @@ func (g *Graph) ArrivalTimes(r Retiming) ([]float64, float64, error) {
 // adjacency, non-negative base weights, and at least one register on every
 // cycle (the zero retiming must be synchronous).
 func (g *Graph) Check() error {
-	for i := range g.edges {
-		e := &g.edges[i]
-		if e.W < 0 {
+	for i := range g.eW {
+		if g.eW[i] < 0 {
 			return fmt.Errorf("graph: edge %d negative weight", i)
 		}
-		if int(e.From) >= g.NumVertices() || int(e.To) >= g.NumVertices() {
+		if int(g.eFrom[i]) >= g.NumVertices() || int(g.eTo[i]) >= g.NumVertices() {
 			return fmt.Errorf("graph: edge %d endpoint out of range", i)
 		}
 	}

@@ -77,12 +77,12 @@ func (rw *RegionWalker) Collect(wr []int32, seeds []VertexID, limit int) bool {
 	}
 	for i := 0; i < len(rw.region); i++ {
 		v := rw.region[i]
-		for _, eid := range rw.g.in[v] {
-			e := &rw.g.edges[eid]
-			if e.From == Host || wr[eid] != 0 {
+		for _, eid := range rw.g.In(v) {
+			from := rw.g.eFrom[eid]
+			if from == Host || wr[eid] != 0 {
 				continue
 			}
-			if !add(e.From) {
+			if !add(from) {
 				return false
 			}
 		}
@@ -125,14 +125,14 @@ func (rw *RegionWalker) TopoSuccFirst(wr []int32) []VertexID {
 			switch rw.state[v] {
 			case unseen:
 				rw.state[v] = active
-				for _, eid := range rw.g.out[v] {
-					e := &rw.g.edges[eid]
-					if e.To == Host || wr[eid] != 0 || !rw.inRegion[e.To] {
+				for _, eid := range rw.g.Out(v) {
+					to := rw.g.eTo[eid]
+					if to == Host || wr[eid] != 0 || !rw.inRegion[to] {
 						continue
 					}
-					switch rw.state[e.To] {
+					switch rw.state[to] {
 					case unseen:
-						rw.stack = append(rw.stack, e.To)
+						rw.stack = append(rw.stack, to)
 					case active:
 						panic("graph: zero-weight cycle in dirty region")
 					}

@@ -164,11 +164,11 @@ func (g *Graph) wdFrom(src VertexID, m *WD, sc *wdScratch) {
 		if it.v == Host && src != Host {
 			continue // do not route through the environment
 		}
-		for _, eid := range g.out[it.v] {
-			e := &g.edges[eid]
-			if nd := it.dist + e.W; nd < dist[e.To] {
-				dist[e.To] = nd
-				heapPush(&h, pqItem{e.To, nd})
+		for _, eid := range g.Out(it.v) {
+			to := g.eTo[eid]
+			if nd := it.dist + g.eW[eid]; nd < dist[to] {
+				dist[to] = nd
+				heapPush(&h, pqItem{to, nd})
 			}
 		}
 	}
@@ -189,13 +189,13 @@ func (g *Graph) wdFrom(src VertexID, m *WD, sc *wdScratch) {
 	// Kahn's algorithm restricted to tight edges.
 	indeg := sc.indeg
 	clear(indeg)
-	for i := range g.edges {
-		e := &g.edges[i]
-		if dist[e.From] == NoPath || (e.From == Host && src != Host) {
+	for i := range g.eW {
+		from := g.eFrom[i]
+		if dist[from] == NoPath || (from == Host && src != Host) {
 			continue
 		}
-		if dist[e.From]+e.W == dist[e.To] {
-			indeg[e.To]++
+		if dist[from]+g.eW[i] == dist[g.eTo[i]] {
+			indeg[g.eTo[i]]++
 		}
 	}
 	queue := sc.queue[:0]
@@ -214,17 +214,17 @@ func (g *Graph) wdFrom(src VertexID, m *WD, sc *wdScratch) {
 		if v == Host && v != src {
 			continue
 		}
-		for _, eid := range g.out[v] {
-			e := &g.edges[eid]
-			if dist[v]+e.W != dist[e.To] {
+		for _, eid := range g.Out(v) {
+			to := g.eTo[eid]
+			if dist[v]+g.eW[eid] != dist[to] {
 				continue
 			}
-			if nd := dDP[v] + g.delay[e.To]; nd > dDP[e.To] {
-				dDP[e.To] = nd
+			if nd := dDP[v] + g.delay[to]; nd > dDP[to] {
+				dDP[to] = nd
 			}
-			indeg[e.To]--
-			if indeg[e.To] == 0 {
-				queue = append(queue, e.To)
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
 			}
 		}
 	}

@@ -12,7 +12,9 @@
 // The backward pass is sharded across signature words (DESIGN.md §11):
 // within one word column the reverse topological order guarantees a node's
 // fanouts are finished before the node itself, and word columns never read
-// each other, so the masks are bit-identical for every worker count.
+// each other, so the masks are bit-identical for every worker count. The
+// pass walks the circuit's CSR view (DESIGN.md §15): packed fanout arrays,
+// the cached reverse order, and the trace's flat signature planes.
 package obs
 
 import (
@@ -67,11 +69,11 @@ func Compute(tr *sim.Trace, opt Options) (*Result, error) {
 // ComputeCtx is Compute with cancellation: a done ctx aborts between
 // shards with a guard.ErrTimeout-wrapped error.
 func ComputeCtx(ctx context.Context, tr *sim.Trace, opt Options) (*Result, error) {
-	c := tr.Circuit
+	csr := tr.CSR()
 	if opt.Frame < 0 || opt.Frame >= tr.Frames {
 		return nil, fmt.Errorf("obs: frame %d outside trace of %d frames", opt.Frame, tr.Frames)
 	}
-	n := c.NumNodes()
+	n := csr.N
 	w := tr.Words
 
 	// odcNext[node] = ODC mask of the node in frame f+1 (register
@@ -82,15 +84,6 @@ func ComputeCtx(ctx context.Context, tr *sim.Trace, opt Options) (*Result, error
 		odcPool.Put(odcNext)
 		odcPool.Put(odcCur)
 	}()
-	isPO := make([]bool, n)
-	for _, po := range c.POs() {
-		isPO[po] = true
-	}
-	// Reverse topological order for intra-frame propagation.
-	rev := make([]circuit.NodeID, len(tr.Order))
-	for i, id := range tr.Order {
-		rev[len(rev)-1-i] = id
-	}
 
 	pool := par.New("obs.compute", opt.Workers, opt.Recorder)
 	var result *Result
@@ -100,37 +93,38 @@ func ComputeCtx(ctx context.Context, tr *sim.Trace, opt Options) (*Result, error
 		// when node x reads odcCur of a gate fanout y, y is later in topo
 		// order, hence earlier in rev order, hence already final — the same
 		// dependency argument as the sequential pass, per column.
-		frame := f
+		plane := tr.Plane(f)
+		lastFrame := f == tr.Frames-1
 		err := pool.Run(ctx, w, func(worker, lo, hi int) error {
 			in := make([]uint64, 0, 8)
-			evalFlip := func(y *circuit.Node, x circuit.NodeID, word int) uint64 {
+			// evalFlip recomputes gate y with fanin x complemented, reading
+			// the clean values straight off the frame's signature plane.
+			evalFlip := func(y circuit.NodeID, x circuit.NodeID, word int) uint64 {
 				in = in[:0]
-				for _, fid := range y.Fanin {
-					v := tr.Value(frame, fid)[word]
+				for _, fid := range csr.FaninOf(y) {
+					v := plane[int(fid)*w+word]
 					if fid == x {
 						v = ^v
 					}
 					in = append(in, v)
 				}
-				return y.Fn.Eval(in)
+				return csr.Fn[y].Eval(in)
 			}
-			for _, x := range rev {
-				nd := c.Node(x)
+			for _, x := range csr.RevOrder {
 				base := int(x) * w
 				dst := odcCur[base : base+w]
-				if isPO[x] {
+				if csr.IsPO[x] {
 					for i := lo; i < hi; i++ {
 						dst[i] = ^uint64(0)
 					}
 				}
-				for _, y := range nd.Fanout {
-					ynd := c.Node(y)
+				for _, y := range csr.FanoutOf(x) {
 					ybase := int(y) * w
-					switch ynd.Kind {
+					switch csr.Kind[y] {
 					case circuit.KindDFF:
 						// The flip is stored and surfaces at the DFF's
 						// output in frame f+1.
-						if frame == tr.Frames-1 {
+						if lastFrame {
 							if !opt.DropFinalRegisters {
 								for i := lo; i < hi; i++ {
 									dst[i] = ^uint64(0)
@@ -143,7 +137,7 @@ func ComputeCtx(ctx context.Context, tr *sim.Trace, opt Options) (*Result, error
 						}
 					case circuit.KindGate:
 						for i := lo; i < hi; i++ {
-							local := evalFlip(ynd, x, i) ^ tr.Value(frame, y)[i]
+							local := evalFlip(y, x, i) ^ plane[ybase+i]
 							dst[i] |= local & odcCur[ybase+i]
 						}
 					}

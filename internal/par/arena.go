@@ -1,0 +1,64 @@
+package par
+
+// Arena is a slab-backed bump allocator over a SlicePool: Alloc carves
+// zeroed scratch slices out of pooled slabs, and one Release returns every
+// slab at once. It groups scratch buffers that live and die together (the
+// signature planes of one simulation, the two ODC slabs of one
+// observability pass) under a single lifetime, so the analysis engines
+// recycle whole working sets instead of pairing an explicit Put with every
+// Get.
+//
+// The zero value with a nil Pool is valid: Alloc falls back to plain make
+// and Release only drops references. An Arena is not safe for concurrent
+// use; the slices it returns follow the SlicePool contract (zeroed, so
+// pooled and non-pooled runs are bit-identical).
+type Arena[T any] struct {
+	// Pool supplies and recycles the slabs. Arenas sharing one pool share
+	// warm slabs across calls.
+	Pool *SlicePool[T]
+
+	slabs [][]T
+	cur   []T
+	off   int
+}
+
+// Alloc returns a zeroed slice of length n carved from the current slab,
+// fetching a new slab when the remainder is too small. The slice is valid
+// until Release.
+func (a *Arena[T]) Alloc(n int) []T {
+	if a.off+n > len(a.cur) {
+		if a.Pool == nil {
+			s := make([]T, n)
+			a.slabs = append(a.slabs, s)
+			return s
+		}
+		size := n
+		if rem := len(a.cur) - a.off; size < 2*rem {
+			// Growing demand: take at least double the wasted remainder so
+			// pathological alternation cannot thrash tiny slabs.
+			size = 2 * rem
+		}
+		a.cur = a.Pool.Get(size)
+		a.off = 0
+		a.slabs = append(a.slabs, a.cur)
+	}
+	s := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Release returns every slab to the pool and resets the arena for reuse.
+// All slices obtained from Alloc are invalid afterwards.
+func (a *Arena[T]) Release() {
+	if a.Pool != nil {
+		for _, s := range a.slabs {
+			a.Pool.Put(s)
+		}
+	}
+	for i := range a.slabs {
+		a.slabs[i] = nil
+	}
+	a.slabs = a.slabs[:0]
+	a.cur = nil
+	a.off = 0
+}

@@ -1,0 +1,66 @@
+package par
+
+import "testing"
+
+func TestArenaAllocZeroedAndDisjoint(t *testing.T) {
+	var pool SlicePool[uint64]
+	a := Arena[uint64]{Pool: &pool}
+	x := a.Alloc(8)
+	y := a.Alloc(8)
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	for i := range y {
+		if y[i] != 0 {
+			t.Fatal("second Alloc not zeroed")
+		}
+	}
+	// Appending to a carved slice must not spill into the next one.
+	if cap(x) != len(x) {
+		t.Fatalf("carved slice cap %d, want %d", cap(x), len(x))
+	}
+	a.Release()
+	// After a Release the same memory comes back zeroed.
+	z := a.Alloc(8)
+	for i := range z {
+		if z[i] != 0 {
+			t.Fatal("recycled Alloc not zeroed")
+		}
+	}
+	a.Release()
+}
+
+func TestArenaNilPool(t *testing.T) {
+	var a Arena[int]
+	s := a.Alloc(5)
+	if len(s) != 5 {
+		t.Fatalf("len %d", len(s))
+	}
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+	a.Release() // must not panic
+}
+
+func TestArenaManySmallAllocs(t *testing.T) {
+	var pool SlicePool[uint64]
+	a := Arena[uint64]{Pool: &pool}
+	var got [][]uint64
+	for i := 0; i < 100; i++ {
+		s := a.Alloc(i % 7)
+		for j := range s {
+			s[j] = uint64(i)
+		}
+		got = append(got, s)
+	}
+	for i, s := range got {
+		for _, v := range s {
+			if v != uint64(i) {
+				t.Fatalf("alloc %d corrupted: %d", i, v)
+			}
+		}
+	}
+	a.Release()
+}

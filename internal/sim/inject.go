@@ -31,11 +31,12 @@ func InjectFlip(tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
 // InjectFlipCtx is InjectFlip with cancellation between shards.
 func InjectFlipCtx(ctx context.Context, tr *Trace, target circuit.NodeID) ([][][]uint64, error) {
 	c := tr.Circuit
-	if int(target) < 0 || int(target) >= c.NumNodes() {
+	csr := tr.csr
+	if int(target) < 0 || int(target) >= csr.N {
 		return nil, fmt.Errorf("sim: inject target %d out of range", target)
 	}
 	w := tr.Words
-	n := c.NumNodes()
+	n := csr.N
 	// faulty[node*w+i] holds the faulty value of the current frame.
 	cur := faultPool.Get(n * w)
 	prev := faultPool.Get(n * w)
@@ -46,39 +47,43 @@ func InjectFlipCtx(ctx context.Context, tr *Trace, target circuit.NodeID) ([][][
 	pos := c.POs()
 	pool := par.New("sim.inject", tr.workers, tr.rec)
 
+	// All diffs share one value slab and one header slab: three allocations
+	// for the whole experiment instead of two per frame.
 	diffs := make([][][]uint64, tr.Frames)
+	headers := make([][]uint64, tr.Frames*len(pos))
+	slab := make([]uint64, tr.Frames*len(pos)*w)
 	for f := 0; f < tr.Frames; f++ {
-		// One slab per frame, subsliced per primary output.
-		diffs[f] = make([][]uint64, len(pos))
-		slab := make([]uint64, len(pos)*w)
+		diffs[f] = headers[f*len(pos) : (f+1)*len(pos)]
 		for i := range pos {
-			diffs[f][i] = slab[i*w : (i+1)*w]
+			off := (f*len(pos) + i) * w
+			diffs[f][i] = slab[off : off+w : off+w]
 		}
+	}
+	for f := 0; f < tr.Frames; f++ {
+		clean := tr.Plane(f)
+		fdiffs := diffs[f]
 		// pool.Run is synchronous, so the closure always sees the cur/prev
 		// of this frame; the swap below happens after every shard returned.
 		err := pool.Run(ctx, w, func(worker, lo, hi int) error {
-			in := make([]uint64, 0, 8)
 			// Sources: PIs always match the clean trace; DFFs carry the
 			// faulty previous-frame value (frame 0 state matches the clean
 			// trace).
 			for id := 0; id < n; id++ {
-				nd := c.Node(circuit.NodeID(id))
 				base := id * w
-				switch nd.Kind {
+				switch csr.Kind[id] {
 				case circuit.KindPI:
-					copy(cur[base+lo:base+hi], tr.Value(f, circuit.NodeID(id))[lo:hi])
+					copy(cur[base+lo:base+hi], clean[base+lo:base+hi])
 				case circuit.KindDFF:
 					if f == 0 {
-						copy(cur[base+lo:base+hi], tr.Value(0, circuit.NodeID(id))[lo:hi])
+						copy(cur[base+lo:base+hi], clean[base+lo:base+hi])
 					} else {
-						src := int(nd.Fanin[0]) * w
+						src := int(csr.Fanin[csr.FaninStart[id]]) * w
 						copy(cur[base+lo:base+hi], prev[src+lo:src+hi])
 					}
 				}
 			}
 			for _, id := range tr.Order {
-				nd := c.Node(id)
-				if nd.Kind != circuit.KindGate {
+				if csr.Kind[id] != circuit.KindGate {
 					if id == target && f == 0 {
 						base := int(id) * w
 						for i := lo; i < hi; i++ {
@@ -87,13 +92,11 @@ func InjectFlipCtx(ctx context.Context, tr *Trace, target circuit.NodeID) ([][][
 					}
 					continue
 				}
+				fanin := csr.FaninOf(id)
+				fn := csr.Fn[id]
 				base := int(id) * w
 				for i := lo; i < hi; i++ {
-					in = in[:0]
-					for _, fid := range nd.Fanin {
-						in = append(in, cur[int(fid)*w+i])
-					}
-					cur[base+i] = nd.Fn.Eval(in)
+					cur[base+i] = fn.EvalFanin(cur, fanin, w, i)
 				}
 				if id == target && f == 0 {
 					for i := lo; i < hi; i++ {
@@ -102,10 +105,10 @@ func InjectFlipCtx(ctx context.Context, tr *Trace, target circuit.NodeID) ([][][
 				}
 			}
 			for i, po := range pos {
-				d := diffs[f][i]
-				clean := tr.Value(f, po)
+				d := fdiffs[i]
+				pb := int(po) * w
 				for j := lo; j < hi; j++ {
-					d[j] = cur[int(po)*w+j] ^ clean[j]
+					d[j] = cur[pb+j] ^ clean[pb+j]
 				}
 			}
 			return nil

@@ -8,6 +8,12 @@
 // makes them the safe parallel axis: Run and InjectFlip shard the per-frame
 // evaluation across word ranges (DESIGN.md §11) and produce bit-identical
 // traces for every worker count.
+//
+// The trace is a single flat plane: word (frame, node, w) lives at
+// vals[(frame·N + node)·Words + w]. Evaluation walks the circuit's CSR
+// view (circuit.CSR, DESIGN.md §15) — packed fanin arrays and a cached
+// topological order — so a steady-state Run performs O(1) allocations,
+// with the plane itself recycled through a pooled arena (Trace.Release).
 package sim
 
 import (
@@ -54,6 +60,10 @@ func (cfg Config) validate() error {
 	return nil
 }
 
+// tracePool recycles the flat signature planes across Runs (via
+// Trace.Release).
+var tracePool par.SlicePool[uint64]
+
 // Trace holds the signatures of every node in every frame of a time-frame
 // expanded simulation.
 type Trace struct {
@@ -61,9 +71,13 @@ type Trace struct {
 	Words   int
 	Frames  int
 	// Order is the combinational topological order used for evaluation.
+	// It aliases the circuit's cached CSR order; callers must not modify.
 	Order []circuit.NodeID
 
-	vals [][]uint64 // vals[frame][int(node)*Words+w]
+	csr    *circuit.CSR
+	stride int      // words per frame: NumNodes · Words
+	vals   []uint64 // flat plane: vals[(frame·N + node)·Words + w]
+	arena  par.Arena[uint64]
 
 	// Sharding configuration inherited by derived analyses (InjectFlip).
 	workers int
@@ -71,10 +85,39 @@ type Trace struct {
 }
 
 // Value returns the signature of node n in the given frame. The returned
-// slice aliases the trace; callers must not modify it.
+// slice aliases the trace; callers must not modify it. Out-of-range frames
+// or nodes panic — the flat plane would otherwise alias a neighboring
+// frame's words, so the bounds are checked explicitly.
 func (t *Trace) Value(frame int, n circuit.NodeID) []uint64 {
-	base := int(n) * t.Words
-	return t.vals[frame][base : base+t.Words]
+	if frame < 0 || frame >= t.Frames {
+		panic(fmt.Sprintf("sim: Trace.Value frame %d outside [0, %d)", frame, t.Frames))
+	}
+	if int(n) < 0 || int(n)*t.Words >= t.stride {
+		panic(fmt.Sprintf("sim: Trace.Value node %d outside [0, %d)", n, t.stride/t.Words))
+	}
+	base := frame*t.stride + int(n)*t.Words
+	return t.vals[base : base+t.Words : base+t.Words]
+}
+
+// Plane returns the node-major signature plane of one frame (the signature
+// of node n occupies words [n·Words, (n+1)·Words)). The hot loops index it
+// directly instead of paying Value's per-call bounds checks. Callers must
+// not modify the plane.
+func (t *Trace) Plane(frame int) []uint64 {
+	return t.vals[frame*t.stride : (frame+1)*t.stride]
+}
+
+// CSR returns the flat view of the traced circuit.
+func (t *Trace) CSR() *circuit.CSR { return t.csr }
+
+// Release returns the trace's signature plane to the package pool. The
+// trace and every slice obtained from Value or Plane are invalid
+// afterwards. Callers that treat traces as transient (run, analyze,
+// discard) should Release to keep steady-state allocation flat; letting
+// the GC collect an unreleased trace is merely slower, never wrong.
+func (t *Trace) Release() {
+	t.vals = nil
+	t.arena.Release()
 }
 
 // Run simulates cfg.Frames cycles of c with fresh random primary-input
@@ -89,70 +132,65 @@ func RunCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Trace, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	order, err := c.TopoOrder()
+	csr, err := c.CSR()
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := csr.N
 	t := &Trace{
 		Circuit: c,
 		Words:   cfg.Words,
 		Frames:  cfg.Frames,
-		Order:   order,
-		vals:    make([][]uint64, cfg.Frames),
+		Order:   csr.Order,
+		csr:     csr,
+		stride:  n * cfg.Words,
+		arena:   par.Arena[uint64]{Pool: &tracePool},
 		workers: cfg.Workers,
 		rec:     cfg.Recorder,
 	}
-	n := c.NumNodes()
-	// One slab for all frames: the trace is long-lived, so slicing a single
-	// allocation beats per-frame slabs without changing any value.
-	slab := make([]uint64, cfg.Frames*n*cfg.Words)
+	// One flat plane for all frames, recycled across Runs via the arena.
+	t.vals = t.arena.Alloc(cfg.Frames * t.stride)
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	pool := par.New("sim.run", cfg.Workers, cfg.Recorder)
+	W := cfg.Words
 	for f := 0; f < cfg.Frames; f++ {
-		t.vals[f] = slab[f*n*cfg.Words : (f+1)*n*cfg.Words]
+		vals := t.Plane(f)
 		// Sources first, sequentially: PIs and DFFs must hold their frame-f
 		// values before any gate reads them (the topological order may place
 		// a gate whose fanins are all sources ahead of some sources), and
 		// the RNG draw order must not depend on the worker count.
+		var prev []uint64
+		if f > 0 {
+			prev = t.Plane(f - 1)
+		}
 		for id := 0; id < n; id++ {
-			nd := c.Node(circuit.NodeID(id))
-			base := id * cfg.Words
-			dst := t.vals[f][base : base+cfg.Words]
-			switch nd.Kind {
+			base := id * W
+			switch csr.Kind[id] {
 			case circuit.KindPI:
-				for w := range dst {
-					dst[w] = rng.Uint64()
+				for w := base; w < base+W; w++ {
+					vals[w] = rng.Uint64()
 				}
 			case circuit.KindDFF:
 				if f == 0 {
-					for w := range dst {
-						dst[w] = rng.Uint64()
+					for w := base; w < base+W; w++ {
+						vals[w] = rng.Uint64()
 					}
 				} else {
-					copy(dst, t.Value(f-1, nd.Fanin[0]))
+					d := int(csr.Fanin[csr.FaninStart[id]]) * W
+					copy(vals[base:base+W], prev[d:d+W])
 				}
 			}
 		}
 		// Gate evaluation sharded across word columns: within one word the
 		// topological order serializes data dependencies; across words there
 		// are none.
-		vals := t.vals[f]
-		err := pool.Run(ctx, cfg.Words, func(worker, lo, hi int) error {
-			W := cfg.Words
-			in := make([]uint64, 0, 8)
-			for _, id := range order {
-				nd := c.Node(id)
-				if nd.Kind != circuit.KindGate {
-					continue
-				}
+		err := pool.Run(ctx, W, func(worker, lo, hi int) error {
+			for _, id := range csr.GateOrder {
+				fanin := csr.FaninOf(id)
+				fn := csr.Fn[id]
 				base := int(id) * W
-				dst := vals[base : base+W]
 				for w := lo; w < hi; w++ {
-					in = in[:0]
-					for _, fid := range nd.Fanin {
-						in = append(in, vals[int(fid)*W+w])
-					}
-					dst[w] = nd.Fn.Eval(in)
+					vals[base+w] = fn.EvalFanin(vals, fanin, W, w)
 				}
 			}
 			return nil

@@ -12,12 +12,11 @@ import (
 // contents.
 type Stepper struct {
 	c     *circuit.Circuit
+	csr   *circuit.CSR
 	words int
-	order []circuit.NodeID
 	vals  []uint64 // current-cycle net values, node-major
 	state []uint64 // DFF outputs for the current cycle, node-major
 	dffs  []circuit.NodeID
-	in    []uint64
 }
 
 // NewStepper builds a stepper with all-zero initial state.
@@ -25,16 +24,16 @@ func NewStepper(c *circuit.Circuit, words int) (*Stepper, error) {
 	if words <= 0 {
 		return nil, fmt.Errorf("sim: words = %d", words)
 	}
-	order, err := c.TopoOrder()
+	csr, err := c.CSR()
 	if err != nil {
 		return nil, err
 	}
 	return &Stepper{
 		c:     c,
+		csr:   csr,
 		words: words,
-		order: order,
-		vals:  make([]uint64, c.NumNodes()*words),
-		state: make([]uint64, c.NumNodes()*words),
+		vals:  make([]uint64, csr.N*words),
+		state: make([]uint64, csr.N*words),
 		dffs:  c.NodesOfKind(circuit.KindDFF),
 	}, nil
 }
@@ -82,18 +81,12 @@ func (s *Stepper) Step(pi [][]uint64) ([][]uint64, error) {
 		base := int(id) * s.words
 		copy(s.vals[base:base+s.words], s.state[base:base+s.words])
 	}
-	for _, id := range s.order {
-		nd := s.c.Node(id)
-		if nd.Kind != circuit.KindGate {
-			continue
-		}
+	for _, id := range s.csr.GateOrder {
+		fanin := s.csr.FaninOf(id)
+		fn := s.csr.Fn[id]
 		base := int(id) * s.words
 		for w := 0; w < s.words; w++ {
-			s.in = s.in[:0]
-			for _, fid := range nd.Fanin {
-				s.in = append(s.in, s.vals[int(fid)*s.words+w])
-			}
-			s.vals[base+w] = nd.Fn.Eval(s.in)
+			s.vals[base+w] = fn.EvalFanin(s.vals, fanin, s.words, w)
 		}
 	}
 	out := make([][]uint64, len(s.c.POs()))

@@ -207,10 +207,10 @@ func New(g *graph.Graph, r0 graph.Retiming, cfg Config) (*State, error) {
 		defaultThreshold: defaultThreshold,
 	}
 	for e := 0; e < g.NumEdges(); e++ {
-		ed := g.Edge(graph.EdgeID(e))
+		eid := graph.EdgeID(e)
 		s.obj += cfg.ObsInt[e] * int64(s.wr[e])
-		s.vertexObsDelta[ed.To] += cfg.ObsInt[e]
-		s.vertexObsDelta[ed.From] -= cfg.ObsInt[e]
+		s.vertexObsDelta[g.EdgeTo(eid)] += cfg.ObsInt[e]
+		s.vertexObsDelta[g.EdgeFrom(eid)] -= cfg.ObsInt[e]
 	}
 	s.objTent = s.obj
 	if cfg.SeedLabels != nil {
@@ -282,8 +282,8 @@ func (s *State) Begin(members []int32, weight func(v int32) int32) {
 					continue
 				}
 				s.edgeMark[eid] = s.epoch
-				e := s.g.Edge(eid)
-				dw := s.delta[e.To] - s.delta[e.From]
+				eFrom, eTo := s.g.EdgeFrom(eid), s.g.EdgeTo(eid)
+				dw := s.delta[eTo] - s.delta[eFrom]
 				if dw == 0 {
 					continue
 				}
@@ -294,7 +294,7 @@ func (s *State) Begin(members []int32, weight func(v int32) int32) {
 				if wrNew < 0 {
 					s.negEdges = append(s.negEdges, eid)
 				}
-				if e.From == graph.Host || e.To == graph.Host {
+				if eFrom == graph.Host || eTo == graph.Host {
 					// Host-incident edges never affect labels: edges into
 					// the host are registered regardless of weight, edges
 					// out of it are never read (the host has no labels).
@@ -306,7 +306,7 @@ func (s *State) Begin(members []int32, weight func(v int32) int32) {
 				if (wrOld > 0) != (wrNew > 0) {
 					// Classification flip: the source vertex now sees a
 					// different kind of fanout.
-					s.seeds = append(s.seeds, e.From)
+					s.seeds = append(s.seeds, eFrom)
 				}
 			}
 		}

@@ -382,6 +382,9 @@ func (d *Design) ensureObsRec(opt AnalysisOptions, rec telemetry.Recorder) error
 	if err != nil {
 		return err
 	}
+	// The trace is transient here: obs reduces it to per-node scalars, so
+	// its signature plane goes back to the pool for the next job.
+	defer tr.Release()
 	res, err := obs.Compute(tr, obs.Options{Workers: opt.Workers, Recorder: rec})
 	if err != nil {
 		return err
