@@ -7,7 +7,7 @@ GO ?= go
 FRONTEND_BENCH = BenchmarkFrontEnd
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-baseline bench-append serve
+.PHONY: test race bench bench-baseline bench-append bench-fastser serve
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -33,6 +33,17 @@ bench-append:
 	$(GO) test -run=NONE -bench '$(FRONTEND_BENCH)' -benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -label $(LABEL) -merge BENCH_baseline.json > BENCH_baseline.json.tmp
 	mv BENCH_baseline.json.tmp BENCH_baseline.json
+
+# Record the analytical fast-observability series (ISSUE 9): the
+# accuracy=fast engine on par2500/par6000 and the on-demand par100k
+# preset. Workers=1 keeps the headline number the honest sequential one;
+# the committed BENCH_fastser.json is the asymptotic-win record cited by
+# EXPERIMENTS.md.
+bench-fastser:
+	SERRETIME_BENCH_WORKERS=1 $(GO) test -run=NONE -bench 'BenchmarkFrontEndFast' \
+		-benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -label fastser > BENCH_fastser.json.tmp
+	mv BENCH_fastser.json.tmp BENCH_fastser.json
 
 # Run the batch-retiming daemon (DESIGN.md §12). Override the listen
 # address with ADDR, e.g. make serve ADDR=:9090.

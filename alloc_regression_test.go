@@ -74,6 +74,26 @@ func TestAllocRegressionObsCompute(t *testing.T) {
 	}
 }
 
+func TestAllocRegressionObsComputeFast(t *testing.T) {
+	c, _ := allocCircuit(t)
+	run := func() {
+		if _, err := obs.ComputeFast(c, 10, obs.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the CSR cache, the level/dedup prep and the float planes
+	// Steady state: the returned Result (one Obs slice), the arena
+	// headers, the worker pool and the two hoisted shard closures —
+	// a constant ~31 regardless of circuit size. The probability planes,
+	// level buckets and dedup tables are all arena-backed and pooled; at
+	// 800 gates anything scaling with gates × frames blows this cap
+	// immediately.
+	const maxAllocs = 36
+	if got := testing.AllocsPerRun(20, run); got > maxAllocs {
+		t.Fatalf("obs.ComputeFast steady state: %.0f allocs/run, want <= %d", got, maxAllocs)
+	}
+}
+
 func TestAllocRegressionComputeWD(t *testing.T) {
 	_, g := allocCircuit(t)
 	run := func() {

@@ -131,26 +131,37 @@ func BenchmarkFrontEnd(b *testing.B) {
 	}
 }
 
-// par50k is generated on demand rather than checked in: at ~50k gates the
-// .bench text would be multiple megabytes of noise in the repository, and
-// gen.Generate is deterministic, so every run benchmarks the same netlist.
+// Preset circuits (par50k, par100k) are generated on demand rather than
+// checked in: at these sizes the .bench text would be multiple megabytes
+// of noise in the repository, and gen.Generate is deterministic, so
+// every run benchmarks the same netlist. The specs live in
+// internal/gen/presets.go, shared with `sergen -preset`.
 var (
-	par50kOnce sync.Once
-	par50kC    *circuit.Circuit
-	par50kErr  error
+	presetMu      sync.Mutex
+	presetCircuit = map[string]*circuit.Circuit{}
 )
 
-func par50k(b *testing.B) *circuit.Circuit {
+func presetBench(b *testing.B, name string) *circuit.Circuit {
 	b.Helper()
-	par50kOnce.Do(func() {
-		par50kC, par50kErr = gen.Generate(gen.Spec{
-			Name: "par50k", Gates: 50000, Conns: 110000, FFs: 8000, Depth: 60,
-		})
-	})
-	if par50kErr != nil {
-		b.Fatal(par50kErr)
+	presetMu.Lock()
+	defer presetMu.Unlock()
+	if c, ok := presetCircuit[name]; ok {
+		return c
 	}
-	return par50kC
+	spec, err := gen.Preset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := gen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	presetCircuit[name] = c
+	return c
+}
+
+func par50k(b *testing.B) *circuit.Circuit {
+	return presetBench(b, "par50k")
 }
 
 // BenchmarkFrontEndLarge exercises the CSR front end at a scale where the
@@ -194,4 +205,31 @@ func BenchmarkFrontEndLarge(b *testing.B) {
 		})
 		tr.Release()
 	}
+}
+
+// BenchmarkFrontEndFast measures the analytical propagation-probability
+// engine (accuracy=fast) against the same horizon the exact benchmarks
+// use. The fastobs phase replaces sim+inject+obs wholesale — one number
+// per circuit per worker count is the honest comparison. par100k is the
+// asymptotic leg: at 100k gates the fast engine must finish well under a
+// second single-worker (tracked in BENCH_fastser.json via `make
+// bench-fastser`), a regime where signature simulation at useful widths
+// is tens of seconds.
+func BenchmarkFrontEndFast(b *testing.B) {
+	run := func(name string, c *circuit.Circuit, frames int) {
+		for _, w := range frontEndWorkers() {
+			b.Run(fmt.Sprintf("circuit=%s/phase=fastobs/workers=%d", name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := obs.ComputeFast(c, frames, obs.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	for _, name := range []string{"par2500", "par6000"} {
+		run(name, benchCircuit(b, name), 15)
+	}
+	run("par100k", presetBench(b, "par100k"), 15)
 }

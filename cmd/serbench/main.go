@@ -109,6 +109,8 @@ type config struct {
 	frames      int
 	words       int
 	engine      string
+	accuracy    string
+	acc         serretime.Accuracy
 	verify      bool
 	autoCap     int
 	timeout     time.Duration
@@ -159,6 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.frames, "frames", 15, "time-frame expansion depth n")
 	fs.IntVar(&cfg.words, "words", 4, "signature width in 64-bit words")
 	fs.StringVar(&cfg.engine, "engine", "closure", "optimizer engine: closure or forest")
+	fs.StringVar(&cfg.accuracy, "accuracy", "exact", "observability engine: exact (signature simulation) or fast (analytical propagation probabilities); fast raises the -autocap default to 120000 unless -autocap is given")
 	fs.BoolVar(&cfg.verify, "verify", false, "co-simulate every optimizer move for sequential equivalence")
 	fs.IntVar(&cfg.autoCap, "autocap", 12000, "with -scale auto, target gate count per circuit; 12000 assumes the flat CSR engine (README \"Benchmark scaling\"), lower it on memory-constrained hosts")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-attempt wall-clock budget per circuit (0 = unbounded)")
@@ -179,6 +182,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.crashMetrics, "crashmetrics", "", "with -crashbin, snapshot the post-recovery /metrics page to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	acc, err := serretime.ParseAccuracy("serbench", cfg.accuracy)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	cfg.acc = acc
+	if acc == serretime.AccuracyFast {
+		// The analytical engine is linear in circuit size, so auto-scale
+		// can afford an order of magnitude more gates per circuit.
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "autocap" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			cfg.autoCap = 120000
+		}
 	}
 	if cfg.crashBin != "" {
 		return runCrash(cfg, stdout, stderr)
@@ -358,7 +380,7 @@ func runOne(j job, cfg config, eng serretime.EngineKind, tw *telemetry.JSONLWrit
 	ropt := serretime.RobustOptions{
 		RetimeOptions: serretime.RetimeOptions{
 			Algorithm:   serretime.MinObs,
-			Analysis:    serretime.AnalysisOptions{Frames: cfg.frames, SignatureWords: cfg.words},
+			Analysis:    serretime.AnalysisOptions{Accuracy: cfg.acc, Frames: cfg.frames, SignatureWords: cfg.words},
 			Engine:      eng,
 			Verify:      cfg.verify,
 			StallSteps:  cfg.stallSteps,

@@ -146,6 +146,9 @@ func submitURL(cfg config, name string) string {
 	q := url.Values{}
 	q.Set("name", name)
 	q.Set("algorithm", "minobswin")
+	if cfg.acc == serretime.AccuracyFast {
+		q.Set("accuracy", "fast")
+	}
 	q.Set("frames", strconv.Itoa(cfg.frames))
 	q.Set("words", strconv.Itoa(cfg.words))
 	if cfg.engine == "forest" {

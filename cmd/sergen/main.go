@@ -7,6 +7,7 @@
 // Usage:
 //
 //	sergen -table s13207 [-scale 1] -out s13207.bench
+//	sergen -preset par100k -out par100k.bench
 //	sergen -gates 5000 -conns 11000 -ffs 1200 [-depth 40] -out custom.bench
 package main
 
@@ -16,20 +17,22 @@ import (
 	"os"
 
 	"serretime"
+	"serretime/internal/gen"
 )
 
 func main() {
 	var (
-		table = flag.String("table", "", "Table I circuit name (overrides explicit statistics)")
-		scale = flag.Int("scale", 1, "shrink factor for -table")
-		gates = flag.Int("gates", 0, "gate count")
-		conns = flag.Int("conns", 0, "connection count")
-		ffs   = flag.Int("ffs", 0, "flip-flop count")
-		depth = flag.Int("depth", 0, "target logic depth (0 = derived)")
-		seed  = flag.Int64("seed", 0, "generator seed (0 = derive from name)")
-		name  = flag.String("name", "synth", "design name for explicit statistics")
-		out   = flag.String("out", "", "output .bench path (default: stdout)")
-		list  = flag.Bool("list", false, "list the Table I circuit names and exit")
+		table  = flag.String("table", "", "Table I circuit name (overrides explicit statistics)")
+		preset = flag.String("preset", "", "named benchmark preset (par50k, par100k): the circuits the repo's benchmarks generate on demand")
+		scale  = flag.Int("scale", 1, "shrink factor for -table")
+		gates  = flag.Int("gates", 0, "gate count")
+		conns  = flag.Int("conns", 0, "connection count")
+		ffs    = flag.Int("ffs", 0, "flip-flop count")
+		depth  = flag.Int("depth", 0, "target logic depth (0 = derived)")
+		seed   = flag.Int64("seed", 0, "generator seed (0 = derive from name)")
+		name   = flag.String("name", "synth", "design name for explicit statistics")
+		out    = flag.String("out", "", "output .bench path (default: stdout)")
+		list   = flag.Bool("list", false, "list the Table I circuit names and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +46,14 @@ func main() {
 	var err error
 	if *table != "" {
 		d, err = serretime.NewTableIDesign(*table, *scale)
+	} else if *preset != "" {
+		var spec gen.Spec
+		if spec, err = gen.Preset(*preset); err == nil {
+			d, err = serretime.Synthesize(serretime.CircuitSpec{
+				Name: spec.Name, Gates: spec.Gates, Conns: spec.Conns,
+				FFs: spec.FFs, Depth: spec.Depth,
+			})
+		}
 	} else {
 		d, err = serretime.Synthesize(serretime.CircuitSpec{
 			Name: *name, Gates: *gates, Conns: *conns, FFs: *ffs,

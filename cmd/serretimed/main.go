@@ -8,8 +8,10 @@
 //
 //	POST /v1/retime           submit a netlist (raw body + ?name=, or
 //	                          multipart field "netlist"); options via
-//	                          query parameters (algorithm, epsilon,
-//	                          frames, words, seed, timeout, ...)
+//	                          query parameters (algorithm, accuracy,
+//	                          epsilon, frames, words, seed, timeout,
+//	                          ...); unknown parameter names are
+//	                          rejected with 400
 //	GET  /v1/jobs/{id}        job status (tier, ΔSER, error class)
 //	GET  /v1/jobs/{id}/result retimed netlist download (.bench)
 //	GET  /v1/jobs/{id}/trace  the job's span tree (queue wait, tiers,

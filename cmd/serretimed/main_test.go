@@ -312,3 +312,62 @@ func TestMemoryOnlyModeUnchanged(t *testing.T) {
 		t.Fatalf("healthz: %.300s", data)
 	}
 }
+
+// submitRaw posts a netlist with an arbitrary query string and returns
+// the raw status code and body — for exercising rejection paths the
+// submit helper treats as fatal.
+func submitRaw(t *testing.T, base, query string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/retime?"+query, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// TestAccuracyQueryEndToEnd drives the accuracy tier through the real
+// daemon: a misspelled parameter must 400 (never silently run the
+// expensive exact path), a bad value must 400, and a fast-tier job must
+// solve end to end without coalescing onto the exact-tier cache entry.
+func TestAccuracyQueryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, t.TempDir())
+	bench := tableIBench(t, "s35932", 1500)
+
+	if code, data := submitRaw(t, d.base, "acuracy=fast&frames=2&words=1", bench); code != http.StatusBadRequest {
+		t.Fatalf("misspelled acuracy=: HTTP %d, want 400: %.300s", code, data)
+	} else if !bytes.Contains(data, []byte("acuracy")) {
+		t.Fatalf("400 body does not name the bad parameter: %.300s", data)
+	}
+	if code, data := submitRaw(t, d.base, "accuracy=banana&frames=2&words=1", bench); code != http.StatusBadRequest {
+		t.Fatalf("accuracy=banana: HTTP %d, want 400: %.300s", code, data)
+	}
+
+	code, data := submitRaw(t, d.base, "accuracy=fast&frames=2&words=1", bench)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("accuracy=fast submit: HTTP %d: %.300s", code, data)
+	}
+	var fast submitReply
+	if err := json.Unmarshal(data, &fast); err != nil {
+		t.Fatalf("fast reply: %v: %.300s", err, data)
+	}
+	waitDone(t, d.base, fast.ID)
+	if out := fetchResult(t, d.base, fast.ID); len(out) == 0 {
+		t.Fatal("fast job returned an empty netlist")
+	}
+
+	// The exact-tier submission of the same netlist+options must be a
+	// fresh job, not a cache hit on the fast one.
+	exact := submit(t, d.base, bench)
+	if exact.Disposition == "cached" {
+		t.Fatalf("exact submission coalesced onto the fast cache entry: %+v", exact)
+	}
+	if exact.ID == fast.ID {
+		t.Fatalf("fast and exact submissions share job ID %s", exact.ID)
+	}
+}

@@ -1,0 +1,41 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// presets are the named benchmark circuits the repo's benchmarks and
+// tools generate on demand instead of checking in: at these sizes a
+// .bench file would be megabytes of noise in the tree, while the seeded
+// generator reproduces the identical circuit in well under a second
+// (the Name-derived seed makes "same name, same circuit" a contract).
+//
+// par50k is the front-end benchmark workhorse (bench_frontend_test.go);
+// par100k exists to demonstrate the asymptotic advantage of the
+// analytical fast observability engine — large enough that a full
+// signature simulation is clearly superlinear pain, small enough to
+// generate in CI.
+var presets = map[string]Spec{
+	"par50k":  {Name: "par50k", Gates: 50000, Conns: 110000, FFs: 8000, Depth: 60},
+	"par100k": {Name: "par100k", Gates: 100000, Conns: 220000, FFs: 16000, Depth: 70},
+}
+
+// Preset returns the named benchmark spec.
+func Preset(name string) (Spec, error) {
+	s, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}
+
+// PresetNames lists the preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -29,6 +29,11 @@ import (
 
 // Options tunes the analysis.
 type Options struct {
+	// Accuracy selects the engine ComputeDesign dispatches to:
+	// AccuracyExact (default) simulates and runs the ODC pass, AccuracyFast
+	// runs the analytical propagation-probability estimate (pp.go). The
+	// direct entry points Compute (exact) and ComputeFast (fast) ignore it.
+	Accuracy Accuracy
 	// Frame selects which frame's gate instances are reported (default 0,
 	// giving errors the full n-frame horizon to propagate).
 	Frame int

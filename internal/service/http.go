@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -228,13 +229,37 @@ func (s *Server) readNetlist(r *http.Request) (io.ReadCloser, string, error) {
 //	retries      per-tier retry count
 //	verify       co-simulate the retiming against the input (boolean);
 //	             result-invariant, so it does not fragment the cache key
+//	accuracy     exact (default) | fast — observability engine tier; fast
+//	             is the analytical propagation-probability estimate
 //
 // Unknown values fail with typed errors unwrapping to guard.ErrParse;
 // non-finite floats are rejected here so a NaN never reaches the hashing
-// or caching layers.
+// or caching layers. Unknown parameter NAMES are rejected too: a typo
+// like acuracy=fast must not silently fall back to the expensive exact
+// path the caller was trying to avoid.
 func optionsFromQuery(r *http.Request) (serretime.RobustOptions, error) {
 	q := r.URL.Query()
 	var opt serretime.RobustOptions
+	var unknown []string
+	for k := range q {
+		switch k {
+		case "algorithm", "engine", "epsilon", "frames", "words", "seed",
+			"maxintervals", "stallsteps", "timeout", "retries", "verify",
+			"accuracy", "name":
+		default:
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return opt, guard.Optionf("service.submit", unknown[0],
+			"unknown query parameter %q (known: accuracy, algorithm, engine, epsilon, frames, maxintervals, name, retries, seed, stallsteps, timeout, verify, words)", unknown[0])
+	}
+	acc, err := serretime.ParseAccuracy("service.submit", q.Get("accuracy"))
+	if err != nil {
+		return opt, err
+	}
+	opt.Analysis.Accuracy = acc
 	switch alg := q.Get("algorithm"); alg {
 	case "", "minobswin":
 		opt.Algorithm = serretime.MinObsWin

@@ -491,6 +491,13 @@ func TestOptionsFromQueryRejectsGarbage(t *testing.T) {
 		"timeout=fortnight",
 		"verify=perhaps",
 		"retries=-2",
+		"accuracy=banana",
+		// Unknown parameter names must 400, not silently no-op: the typo
+		// acuracy=fast would otherwise run the expensive exact path the
+		// caller was explicitly routing around.
+		"acuracy=fast",
+		"frames=3&wrods=2",
+		"zzz=1&aaa=2",
 	}
 	for _, qs := range bad {
 		r := httptest.NewRequest("POST", "/v1/retime?"+qs, nil)
@@ -498,13 +505,33 @@ func TestOptionsFromQueryRejectsGarbage(t *testing.T) {
 			t.Errorf("%s: want guard.ErrParse, got %v", qs, err)
 		}
 	}
-	r := httptest.NewRequest("POST", "/v1/retime?epsilon=0.2&frames=3&words=2&seed=-7&verify=true&timeout=30s", nil)
+	r := httptest.NewRequest("POST", "/v1/retime?epsilon=0.2&frames=3&words=2&seed=-7&verify=true&timeout=30s&accuracy=fast&name=c.bench", nil)
 	opt, err := optionsFromQuery(r)
 	if err != nil {
 		t.Fatalf("good query rejected: %v", err)
 	}
 	if opt.Epsilon != 0.2 || opt.Analysis.Frames != 3 || opt.Analysis.SignatureWords != 2 ||
-		opt.Analysis.Seed != -7 || !opt.Verify || opt.Timeout != 30*time.Second {
+		opt.Analysis.Seed != -7 || !opt.Verify || opt.Timeout != 30*time.Second ||
+		opt.Analysis.Accuracy != serretime.AccuracyFast {
 		t.Errorf("good query mis-parsed: %+v", opt)
+	}
+	if opt, err := optionsFromQuery(httptest.NewRequest("POST", "/v1/retime?accuracy=exact", nil)); err != nil || opt.Analysis.Accuracy != serretime.AccuracyExact {
+		t.Errorf("accuracy=exact mis-parsed: %+v, %v", opt, err)
+	}
+}
+
+// TestJobKeySplitsOnAccuracy pins that fast and exact submissions of the
+// same netlist never coalesce onto one cached job.
+func TestJobKeySplitsOnAccuracy(t *testing.T) {
+	d := tableIDesign(t, "s35932", 1000000)
+	base := fastOpts()
+	k0, err := JobKey(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.Analysis.Accuracy = serretime.AccuracyFast
+	if k, _ := JobKey(d, fast); k == k0 {
+		t.Error("accuracy=fast did not change the job key")
 	}
 }

@@ -191,6 +191,9 @@ func (o *RetimeOptions) validate(op string) error {
 			*f.v = 0 // fold -0 to +0: map keys compare bits via ==, hashes format the sign
 		}
 	}
+	if o.Analysis.Accuracy > AccuracyFast {
+		return guard.Optionf(op, "Accuracy", "unknown accuracy %d", o.Analysis.Accuracy)
+	}
 	return nil
 }
 

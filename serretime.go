@@ -313,8 +313,54 @@ func (d *Design) Stats() (Stats, error) {
 	}, nil
 }
 
+// Accuracy selects the observability engine (DESIGN.md §16).
+type Accuracy uint8
+
+const (
+	// AccuracyExact (default) measures observabilities with the
+	// signature-based ODC analysis over an n-frame simulated trace — the
+	// ground-truth engine, bounded in practice by the simulation cost.
+	AccuracyExact Accuracy = iota
+	// AccuracyFast estimates observabilities with the analytical
+	// propagation-probability engine: no simulation, orders of magnitude
+	// cheaper, exact per-gate transfer under an independence assumption
+	// that reconvergent fanout violates. Cross-validated against exact on
+	// the testdata circuits (rank correlation >= 0.9).
+	AccuracyFast
+)
+
+func (a Accuracy) String() string {
+	switch a {
+	case AccuracyExact:
+		return "exact"
+	case AccuracyFast:
+		return "fast"
+	}
+	return fmt.Sprintf("Accuracy(%d)", uint8(a))
+}
+
+// ParseAccuracy maps the wire/CLI spelling of an accuracy ("exact",
+// "fast", or empty for the default) to the enum. Unknown spellings fail
+// with a typed error unwrapping to guard.ErrParse; op names the entry
+// point for the error text.
+func ParseAccuracy(op, s string) (Accuracy, error) {
+	switch s {
+	case "", "exact":
+		return AccuracyExact, nil
+	case "fast":
+		return AccuracyFast, nil
+	}
+	return 0, guard.Optionf(op, "accuracy", "unknown accuracy %q (want exact or fast)", s)
+}
+
 // AnalysisOptions tunes the observability/SER analysis.
 type AnalysisOptions struct {
+	// Accuracy selects the observability engine: AccuracyExact (default)
+	// simulates, AccuracyFast estimates analytically. The two engines
+	// return different numbers for the same circuit, so Accuracy is part
+	// of every cache key (ensureObs, CanonicalKey) — fast and exact
+	// results never alias.
+	Accuracy Accuracy
 	// Frames is the time-frame expansion depth n (default 15, as in the
 	// paper).
 	Frames int
@@ -353,8 +399,8 @@ func (o AnalysisOptions) normalized() AnalysisOptions {
 // bit-identical for every worker count (DESIGN.md §11).
 func (o AnalysisOptions) CanonicalKey() string {
 	n := o.normalized()
-	return fmt.Sprintf("frames=%d words=%d seed=%d maxint=%d",
-		n.Frames, n.SignatureWords, n.Seed, n.MaxIntervals)
+	return fmt.Sprintf("acc=%s frames=%d words=%d seed=%d maxint=%d",
+		n.Accuracy, n.Frames, n.SignatureWords, n.Seed, n.MaxIntervals)
 }
 
 // ensureObs computes (or reuses) the observability analysis of the
@@ -375,17 +421,18 @@ func (d *Design) ensureObsRec(opt AnalysisOptions, rec telemetry.Recorder) error
 	if d.gateObs != nil && d.obsOpt == key {
 		return nil
 	}
-	tr, err := sim.Run(d.c, sim.Config{
+	acc := obs.AccuracyExact
+	if opt.Accuracy == AccuracyFast {
+		acc = obs.AccuracyFast
+	}
+	// ComputeDesign dispatches on the accuracy: exact simulates a
+	// transient trace (released inside, its signature plane goes back to
+	// the pool for the next job) and runs the ODC pass; fast runs the
+	// analytical propagation-probability estimate with no simulation.
+	res, err := obs.ComputeDesign(context.Background(), d.c, sim.Config{
 		Words: opt.SignatureWords, Frames: opt.Frames, Seed: opt.Seed,
 		Workers: opt.Workers, Recorder: rec,
-	})
-	if err != nil {
-		return err
-	}
-	// The trace is transient here: obs reduces it to per-node scalars, so
-	// its signature plane goes back to the pool for the next job.
-	defer tr.Release()
-	res, err := obs.Compute(tr, obs.Options{Workers: opt.Workers, Recorder: rec})
+	}, obs.Options{Accuracy: acc, Workers: opt.Workers, Recorder: rec})
 	if err != nil {
 		return err
 	}
