@@ -7,7 +7,7 @@ GO ?= go
 FRONTEND_BENCH = BenchmarkFrontEnd
 BENCHTIME ?= 1s
 
-.PHONY: test race bench bench-baseline bench-append bench-fastser serve
+.PHONY: test race bench bench-baseline bench-append bench-fastser bench-eco serve
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -44,6 +44,19 @@ bench-fastser:
 		-benchmem -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -label fastser > BENCH_fastser.json.tmp
 	mv BENCH_fastser.json.tmp BENCH_fastser.json
+
+# Record the warm-session ECO series (ISSUE 10): stream generated
+# single-gate perturbations through a serretime.WarmState and compare
+# the incremental re-solve against the cold full solve it must match
+# bit-for-bit (-ecomin 3 fails the run if the speedup falls under 3x).
+# The two-step pipe keeps serbench's exit code observable to make.
+ECO_DELTAS ?= 16
+bench-eco:
+	$(GO) run ./cmd/serbench -eco testdata/par6000.bench -deltas $(ECO_DELTAS) \
+		-frames 3 -words 1 -ecomin 3 > BENCH_eco.lines.tmp
+	$(GO) run ./cmd/benchjson -label eco < BENCH_eco.lines.tmp > BENCH_eco.json.tmp
+	mv BENCH_eco.json.tmp BENCH_eco.json
+	rm -f BENCH_eco.lines.tmp
 
 # Run the batch-retiming daemon (DESIGN.md §12). Override the listen
 # address with ADDR, e.g. make serve ADDR=:9090.

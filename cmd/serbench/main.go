@@ -37,7 +37,16 @@
 //	         [-trace out.jsonl] [-metrics] [-checklabels]
 //	         [-cpuprofile f] [-memprofile f]
 //
-// Two client modes replace the in-process sweep: -serve bursts the
+// ECO mode (-eco netlist.bench) replaces the sweep with a warm-session
+// delta stream: generated single-gate perturbations are re-solved
+// incrementally through a serretime.WarmState and every result is
+// byte-compared against a cold full solve of the same mutated netlist
+// (the oracle). Alone it benchmarks in-process and prints
+// benchjson-compatible lines (`make bench-eco` → BENCH_eco.json); with
+// -serve it drives a running serretimed's /v1/sessions API instead
+// (eco.go).
+//
+// Two further client modes replace the in-process sweep: -serve bursts the
 // payload set at a running serretimed and verifies its caching and
 // determinism promises (serve.go) — it mints a trace ID per submission,
 // propagates it via the Traceparent header, prints client-side
@@ -133,6 +142,12 @@ type config struct {
 	crashBin     string
 	crashDir     string
 	crashMetrics string
+
+	// -eco warm-session mode (see eco.go)
+	ecoPath   string
+	ecoDeltas int
+	ecoSeed   int64
+	ecoMin    float64
 }
 
 func main() {
@@ -180,6 +195,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.crashBin, "crashbin", "", "chaos-harness mode: kill-recover test this serretimed binary instead of sweeping in-process")
 	fs.StringVar(&cfg.crashDir, "crashdir", "", "with -crashbin, the child daemon's -data-dir (default: a temp dir, removed afterwards)")
 	fs.StringVar(&cfg.crashMetrics, "crashmetrics", "", "with -crashbin, snapshot the post-recovery /metrics page to this file")
+	fs.StringVar(&cfg.ecoPath, "eco", "", "ECO mode: stream generated deltas against this base netlist, oracle-checking every incremental result against a cold full solve; alone it benchmarks in-process (pipe to cmd/benchjson), with -serve it drives a running serretimed's session API")
+	fs.IntVar(&cfg.ecoDeltas, "deltas", 16, "with -eco, perturbations to apply")
+	fs.Int64Var(&cfg.ecoSeed, "ecoseed", 1, "with -eco, delta-generator seed")
+	fs.Float64Var(&cfg.ecoMin, "ecomin", 0, "with -eco, fail (exit 2) when the warm/cold speedup is below this factor (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -202,8 +221,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.autoCap = 120000
 		}
 	}
+	eng := serretime.EngineClosure
+	if cfg.engine == "forest" {
+		eng = serretime.EngineForest
+	} else if cfg.engine != "closure" {
+		fmt.Fprintf(stderr, "serbench: unknown engine %q\n", cfg.engine)
+		return 2
+	}
 	if cfg.crashBin != "" {
 		return runCrash(cfg, stdout, stderr)
+	}
+	if cfg.ecoPath != "" {
+		return runECO(cfg, eng, stdout, stderr)
 	}
 	if cfg.serveURL != "" {
 		return runServe(cfg, stdout, stderr)
@@ -223,13 +252,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, n := range names {
 			jobs = append(jobs, job{name: n})
 		}
-	}
-	eng := serretime.EngineClosure
-	if cfg.engine == "forest" {
-		eng = serretime.EngineForest
-	} else if cfg.engine != "closure" {
-		fmt.Fprintf(stderr, "serbench: unknown engine %q\n", cfg.engine)
-		return 2
 	}
 	if cfg.faultInject != "" {
 		for _, n := range strings.Split(cfg.faultInject, ",") {

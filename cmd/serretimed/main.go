@@ -16,6 +16,23 @@
 //	GET  /v1/jobs/{id}/result retimed netlist download (.bench)
 //	GET  /v1/jobs/{id}/trace  the job's span tree (queue wait, tiers,
 //	                          pipeline phases, parallel shards) as JSON
+//	POST /v1/sessions         open a warm ECO session: same body and
+//	                          options as /v1/retime, solved synchronously;
+//	                          the parsed circuit and committed solver
+//	                          state stay resident for incremental re-solves
+//	POST /v1/sessions/{id}/delta
+//	                          apply netlist delta ops (rewire, add_gate,
+//	                          rm_node, mark_po, unmark_po) and re-solve —
+//	                          warm when the change is small, full solve
+//	                          otherwise; the result is bit-identical to a
+//	                          from-scratch solve either way
+//	GET  /v1/sessions/{id}        session status (deltas, warm/fallback)
+//	GET  /v1/sessions/{id}/result current retimed netlist (.bench)
+//	DELETE /v1/sessions/{id}      close the session
+//
+// Sessions are ephemeral: they live in memory only, are LRU-evicted
+// beyond -max-sessions, expire after -session-ttl idle, and answer 410
+// after a daemon restart (the ID carries a per-boot nonce).
 //	GET  /debug/jobs          live in-flight jobs: age, current phase,
 //	                          queue wait, worker utilization
 //	GET  /healthz             liveness, queue depth, build identity
@@ -51,6 +68,7 @@
 //	           [-timeout 5m] [-retries N] [-cache N] [-trace out.jsonl]
 //	           [-data-dir DIR] [-fsync always|interval|never]
 //	           [-fsync-interval 100ms] [-slowjob 2m]
+//	           [-max-sessions 32] [-session-ttl 15m]
 package main
 
 import (
@@ -89,6 +107,8 @@ func run(args []string) int {
 	fsyncPolicy := fs.String("fsync", "always", "WAL durability: always, interval or never")
 	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "max un-synced window under -fsync interval")
 	slowJob := fs.Duration("slowjob", 2*time.Minute, "log a stack-of-spans snapshot for jobs running longer than this (0 = off)")
+	maxSessions := fs.Int("max-sessions", 32, "resident warm ECO sessions (LRU-evicted beyond this)")
+	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "evict sessions idle longer than this (<0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -117,6 +137,8 @@ func run(args []string) int {
 		Retries:      *retries,
 		MaxJobs:      *cacheSize,
 		SlowJob:      *slowJob,
+		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
 		Recorder:     rec,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -1,0 +1,169 @@
+package serretime_test
+
+// External test package: internal/eco imports serretime, so this file
+// cannot live in package serretime without a cycle.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"serretime"
+	"serretime/internal/benchfmt"
+	"serretime/internal/eco"
+)
+
+func robustOpts() serretime.RobustOptions {
+	return serretime.RobustOptions{
+		RetimeOptions: serretime.RetimeOptions{
+			Algorithm: serretime.MinObsWin,
+			Analysis:  serretime.AnalysisOptions{Frames: 3, SignatureWords: 1},
+		},
+	}
+}
+
+func coldBytes(t *testing.T, bench []byte, opt serretime.RobustOptions) []byte {
+	t.Helper()
+	d, err := serretime.ParseBench(bytes.NewReader(bench), "eco")
+	if err != nil {
+		t.Fatalf("parse mutated netlist: %v", err)
+	}
+	res, err := d.RetimeRobust(context.Background(), opt)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Retimed.WriteBench(&buf); err != nil {
+		t.Fatalf("encode cold result: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRetimeDeltaMatchesCold is the delta-path identity contract: every
+// RetimeDelta answer — warm or fallback — must be byte-identical to a
+// from-scratch RetimeRobust of the same mutated netlist (DESIGN.md §17).
+func TestRetimeDeltaMatchesCold(t *testing.T) {
+	d0, err := serretime.Synthesize(serretime.CircuitSpec{
+		Gates: 220, Conns: 520, FFs: 30, Depth: 7, FanoutSkew: 0.25,
+	})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	// Round-trip the base through .bench — the session server and the ECO
+	// client both start from the same parsed bytes, keeping their node IDs
+	// aligned as the same deltas apply on both sides.
+	var base bytes.Buffer
+	if err := d0.WriteBench(&base); err != nil {
+		t.Fatalf("encode base: %v", err)
+	}
+	d, err := serretime.ParseBench(bytes.NewReader(base.Bytes()), "eco")
+	if err != nil {
+		t.Fatalf("reparse base: %v", err)
+	}
+	c, err := benchfmt.Parse(bytes.NewReader(base.Bytes()), "eco")
+	if err != nil {
+		t.Fatalf("reparse base circuit: %v", err)
+	}
+	opt := robustOpts()
+	ctx := context.Background()
+
+	w, err := serretime.NewWarmState(ctx, d, opt)
+	if err != nil {
+		t.Fatalf("NewWarmState: %v", err)
+	}
+
+	// The warm-started initial solve must already match a plain cold solve.
+	var warm0 bytes.Buffer
+	if err := w.Result().Retimed.WriteBench(&warm0); err != nil {
+		t.Fatalf("encode warm base result: %v", err)
+	}
+	if cold := coldBytes(t, base.Bytes(), opt); !bytes.Equal(warm0.Bytes(), cold) {
+		t.Fatalf("initial warm-started solve differs from cold solve")
+	}
+
+	g := eco.NewGen(c, 1)
+	warmCount := 0
+	for i := 0; i < 8; i++ {
+		ops, err := g.Next()
+		if err != nil {
+			t.Fatalf("delta %d: generate: %v", i, err)
+		}
+		res, stats, err := w.RetimeDelta(ctx, ops, opt)
+		if err != nil {
+			t.Fatalf("delta %d (%+v): %v", i, ops, err)
+		}
+		if stats.Warm {
+			warmCount++
+		} else {
+			t.Logf("delta %d fell back: %s", i, stats.FallbackReason)
+		}
+		var got bytes.Buffer
+		if err := res.Retimed.WriteBench(&got); err != nil {
+			t.Fatalf("delta %d: encode: %v", i, err)
+		}
+		bench, err := g.Bench()
+		if err != nil {
+			t.Fatalf("delta %d: encode mirror: %v", i, err)
+		}
+		if want := coldBytes(t, bench, opt); !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("delta %d: warm result differs from cold solve of the mutated netlist", i)
+		}
+	}
+	if warmCount == 0 {
+		t.Fatalf("no delta took the warm path")
+	}
+}
+
+// TestRetimeDeltaFallbacks pins the fallback triggers: option changes
+// that re-key the observability cache, non-closure engines, and deltas
+// larger than the dirty threshold must run cold — and still advance the
+// state so the next delta answers for the new netlist.
+func TestRetimeDeltaFallbacks(t *testing.T) {
+	d, err := serretime.Synthesize(serretime.CircuitSpec{
+		Gates: 60, Conns: 140, FFs: 10, Depth: 5,
+	})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	opt := robustOpts()
+	ctx := context.Background()
+	w, err := serretime.NewWarmState(ctx, d, opt)
+	if err != nil {
+		t.Fatalf("NewWarmState: %v", err)
+	}
+
+	aopt := opt
+	aopt.Analysis.Frames = 4
+	if _, stats, err := w.RetimeDelta(ctx, nil, aopt); err != nil {
+		t.Fatalf("analysis-change delta: %v", err)
+	} else if stats.Warm || stats.FallbackReason != "analysis-options-changed" {
+		t.Fatalf("analysis-change delta: got %+v, want analysis-options-changed fallback", stats)
+	}
+
+	eopt := aopt
+	eopt.Engine = serretime.EngineForest
+	if _, stats, err := w.RetimeDelta(ctx, nil, eopt); err != nil {
+		t.Fatalf("engine delta: %v", err)
+	} else if stats.Warm || stats.FallbackReason != "engine-not-closure" {
+		t.Fatalf("engine delta: got %+v, want engine-not-closure fallback", stats)
+	}
+
+	// An option-only delta under the committed options is warm again.
+	if _, stats, err := w.RetimeDelta(ctx, nil, aopt); err != nil {
+		t.Fatalf("warm-again delta: %v", err)
+	} else if !stats.Warm {
+		t.Fatalf("warm-again delta fell back: %s", stats.FallbackReason)
+	}
+
+	if _, stats, err := w.RetimeDelta(ctx, []serretime.DeltaOp{{Op: "rm_node", Name: "no_such_net"}}, aopt); err == nil {
+		t.Fatalf("bad delta did not fail")
+	} else if stats.Warm {
+		t.Fatalf("bad delta claimed the warm path")
+	}
+	// Failed deltas must not advance the state.
+	if _, stats, err := w.RetimeDelta(ctx, nil, aopt); err != nil {
+		t.Fatalf("post-failure delta: %v", err)
+	} else if !stats.Warm {
+		t.Fatalf("post-failure delta fell back: %s", stats.FallbackReason)
+	}
+}

@@ -10,6 +10,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -80,6 +81,17 @@ func (f Func) String() string {
 		return funcNames[f]
 	}
 	return fmt.Sprintf("Func(%d)", uint8(f))
+}
+
+// ParseFunc resolves a gate function by its canonical name (the String
+// form, case-insensitive). Used by the parsers and the ECO delta codec.
+func ParseFunc(name string) (Func, bool) {
+	for f, n := range funcNames {
+		if strings.EqualFold(name, n) {
+			return Func(f), true
+		}
+	}
+	return 0, false
 }
 
 // MinInputs returns the minimum legal fanin count for the function.

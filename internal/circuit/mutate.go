@@ -1,0 +1,164 @@
+package circuit
+
+// Engineering-change-order mutations. The batch front end only ever
+// builds circuits append-only (parsers, Builder); the ECO session path
+// (DESIGN.md §17) additionally rewires, removes and re-declares nodes in
+// place. Every mutator invalidates the cached CSR view, exactly like the
+// append path, so flat-core consumers recompile on next access.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rewire replaces the fanin pin list of a gate (or the data input of a
+// DFF) and maintains the fanout indexes of the old and new drivers. The
+// new pin list is validated against the node's function arity; cycle
+// freedom is NOT checked here — callers that may have created a
+// combinational cycle run Validate/TopoOrder before using the circuit.
+func (c *Circuit) Rewire(id NodeID, fanin []NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("circuit: Rewire of unknown node %d", id)
+	}
+	n := &c.nodes[id]
+	switch n.Kind {
+	case KindGate:
+		if ln := len(fanin); ln < n.Fn.MinInputs() || (n.Fn.MaxInputs() >= 0 && ln > n.Fn.MaxInputs()) {
+			return fmt.Errorf("circuit: rewire %q: %s cannot take %d inputs", n.Name, n.Fn, ln)
+		}
+	case KindDFF:
+		if len(fanin) != 1 {
+			return fmt.Errorf("circuit: rewire %q: DFF takes exactly 1 input, got %d", n.Name, len(fanin))
+		}
+	default:
+		return fmt.Errorf("circuit: rewire %q: %v nodes have no fanin", n.Name, n.Kind)
+	}
+	for _, f := range fanin {
+		if int(f) < 0 || int(f) >= len(c.nodes) {
+			return fmt.Errorf("circuit: rewire %q references unknown fanin %d", n.Name, f)
+		}
+	}
+	old := n.Fanin
+	n.Fanin = append(n.Fanin[:0:0], fanin...)
+	for _, f := range old {
+		c.dropFanout(f, id)
+	}
+	for _, f := range n.Fanin {
+		c.insertFanout(f, id)
+	}
+	c.csr = nil
+	return nil
+}
+
+// UnmarkPO withdraws the primary-output declaration of a node; the node
+// itself (and any ordinary fanout) stays. Unknown declarations are a
+// no-op, mirroring MarkPO's idempotence.
+func (c *Circuit) UnmarkPO(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("circuit: UnmarkPO of unknown node %d", id)
+	}
+	for i, p := range c.pos {
+		if p == id {
+			c.pos = append(c.pos[:i], c.pos[i+1:]...)
+			c.csr = nil
+			return nil
+		}
+	}
+	return nil
+}
+
+// RemoveNode deletes a node that nothing reads: its fanout must be empty
+// and it must not be a primary output (UnmarkPO first). Node IDs above
+// the removed one shift down by one; the caller owns any external ID
+// maps. Two circuits that were equal and receive the same RemoveNode
+// stay equal node for node, which is what keeps ECO clients and the
+// session server bit-aligned.
+func (c *Circuit) RemoveNode(id NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("circuit: RemoveNode of unknown node %d", id)
+	}
+	n := &c.nodes[id]
+	if len(n.Fanout) != 0 {
+		return fmt.Errorf("circuit: RemoveNode %q: %d readers remain", n.Name, len(n.Fanout))
+	}
+	for _, p := range c.pos {
+		if p == id {
+			return fmt.Errorf("circuit: RemoveNode %q: still a primary output", n.Name)
+		}
+	}
+	for _, f := range n.Fanin {
+		// Unconditional removal: every pin of the dying node releases its
+		// driver (dropFanout's still-read check would see the not yet
+		// cleared fanin of the node itself).
+		fo := c.nodes[f].Fanout
+		for i, r := range fo {
+			if r == id {
+				c.nodes[f].Fanout = append(fo[:i], fo[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.byName, n.Name)
+	c.nodes = append(c.nodes[:id], c.nodes[id+1:]...)
+	shift := func(v NodeID) NodeID {
+		if v > id {
+			return v - 1
+		}
+		return v
+	}
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		for j, f := range nd.Fanin {
+			nd.Fanin[j] = shift(f)
+		}
+		for j, f := range nd.Fanout {
+			nd.Fanout[j] = shift(f)
+		}
+	}
+	for name, v := range c.byName {
+		c.byName[name] = shift(v)
+	}
+	out := c.pis[:0]
+	for _, p := range c.pis {
+		if p != id {
+			out = append(out, shift(p))
+		}
+	}
+	c.pis = out
+	for i, p := range c.pos {
+		c.pos[i] = shift(p)
+	}
+	c.csr = nil
+	return nil
+}
+
+// dropFanout removes reader from f's fanout list unless another pin of
+// reader still reads f.
+func (c *Circuit) dropFanout(f, reader NodeID) {
+	for _, pin := range c.nodes[reader].Fanin {
+		if pin == f {
+			return // still read through another pin
+		}
+	}
+	fo := c.nodes[f].Fanout
+	for i, r := range fo {
+		if r == reader {
+			c.nodes[f].Fanout = append(fo[:i], fo[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertFanout records reader in f's fanout, keeping the list
+// deduplicated and in ascending ID order (the Node.Fanout contract).
+func (c *Circuit) insertFanout(f, reader NodeID) {
+	fo := c.nodes[f].Fanout
+	i := sort.Search(len(fo), func(i int) bool { return fo[i] >= reader })
+	if i < len(fo) && fo[i] == reader {
+		return
+	}
+	fo = append(fo, 0)
+	copy(fo[i+1:], fo[i:])
+	fo[i] = reader
+	c.nodes[f].Fanout = fo
+}

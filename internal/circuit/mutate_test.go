@@ -1,0 +1,189 @@
+package circuit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildECO returns a small circuit: a, b inputs; g1 = AND(a,b);
+// g2 = OR(g1,a); d = DFF(g2); PO g2.
+func buildECO(t *testing.T) (*Circuit, map[string]NodeID) {
+	t.Helper()
+	c := New("eco")
+	ids := map[string]NodeID{}
+	mk := func(name string, f func() (NodeID, error)) {
+		id, err := f()
+		if err != nil {
+			t.Fatalf("add %s: %v", name, err)
+		}
+		ids[name] = id
+	}
+	mk("a", func() (NodeID, error) { return c.AddPI("a") })
+	mk("b", func() (NodeID, error) { return c.AddPI("b") })
+	mk("g1", func() (NodeID, error) { return c.AddGate("g1", FnAnd, ids["a"], ids["b"]) })
+	mk("g2", func() (NodeID, error) { return c.AddGate("g2", FnOr, ids["g1"], ids["a"]) })
+	mk("d", func() (NodeID, error) { return c.AddDFF("d", ids["g2"]) })
+	if err := c.MarkPO(ids["g2"]); err != nil {
+		t.Fatalf("mark PO: %v", err)
+	}
+	return c, ids
+}
+
+func fanoutOf(c *Circuit, id NodeID) []NodeID {
+	return append([]NodeID(nil), c.Node(id).Fanout...)
+}
+
+func TestRewire(t *testing.T) {
+	c, ids := buildECO(t)
+	// g2 = OR(g1, a) -> OR(b, a): g1 loses its only reader except d... no,
+	// d reads g2. After the rewire g1's fanout must be empty and b's must
+	// gain g2, in ascending order.
+	if err := c.Rewire(ids["g2"], []NodeID{ids["b"], ids["a"]}); err != nil {
+		t.Fatalf("rewire: %v", err)
+	}
+	if got := fanoutOf(c, ids["g1"]); len(got) != 0 {
+		t.Fatalf("old driver g1 still has fanout %v", got)
+	}
+	if got, want := fanoutOf(c, ids["b"]), []NodeID{ids["g1"], ids["g2"]}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("b fanout = %v, want %v", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("validate after rewire: %v", err)
+	}
+
+	// Arity violations and bad kinds must be rejected without mutation.
+	if err := c.Rewire(ids["g1"], []NodeID{ids["a"]}); err == nil {
+		t.Fatalf("AND with 1 input accepted")
+	}
+	if err := c.Rewire(ids["d"], []NodeID{ids["a"], ids["b"]}); err == nil {
+		t.Fatalf("DFF with 2 inputs accepted")
+	}
+	if err := c.Rewire(ids["a"], []NodeID{ids["b"]}); err == nil {
+		t.Fatalf("rewire of a PI accepted")
+	}
+	if err := c.Rewire(ids["d"], []NodeID{ids["a"]}); err != nil {
+		t.Fatalf("rewire DFF data input: %v", err)
+	}
+	if got := fanoutOf(c, ids["g2"]); len(got) != 0 {
+		t.Fatalf("g2 keeps stale fanout %v after DFF rewire", got)
+	}
+}
+
+func TestRewireDuplicatePin(t *testing.T) {
+	c, ids := buildECO(t)
+	// Two pins reading the same net: fanout must stay deduplicated, and a
+	// later rewire of one pin must keep the driver's fanout entry alive.
+	if err := c.Rewire(ids["g1"], []NodeID{ids["a"], ids["a"]}); err != nil {
+		t.Fatalf("rewire to duplicate pins: %v", err)
+	}
+	if got, want := fanoutOf(c, ids["a"]), []NodeID{ids["g1"], ids["g2"]}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("a fanout = %v, want %v", got, want)
+	}
+	if err := c.Rewire(ids["g1"], []NodeID{ids["a"], ids["b"]}); err != nil {
+		t.Fatalf("rewire away one duplicate pin: %v", err)
+	}
+	if got, want := fanoutOf(c, ids["a"]), []NodeID{ids["g1"], ids["g2"]}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("a fanout after dedup rewire = %v, want %v", got, want)
+	}
+}
+
+func TestUnmarkPO(t *testing.T) {
+	c, ids := buildECO(t)
+	if err := c.UnmarkPO(ids["g2"]); err != nil {
+		t.Fatalf("unmark: %v", err)
+	}
+	if got := c.POs(); len(got) != 0 {
+		t.Fatalf("POs = %v after unmark", got)
+	}
+	// Idempotent, like MarkPO.
+	if err := c.UnmarkPO(ids["g2"]); err != nil {
+		t.Fatalf("second unmark: %v", err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	c, ids := buildECO(t)
+
+	// Guarded: g1 is read by g2; g2 is a PO; d reads g2.
+	if err := c.RemoveNode(ids["g1"]); err == nil {
+		t.Fatalf("removed a node with readers")
+	}
+	if err := c.RemoveNode(ids["d"]); err != nil {
+		t.Fatalf("remove leaf DFF: %v", err)
+	}
+	if _, ok := c.Lookup("d"); ok {
+		t.Fatalf("d still resolvable after removal")
+	}
+	if err := c.RemoveNode(ids["g2"]); err == nil {
+		t.Fatalf("removed a primary output")
+	}
+	if err := c.UnmarkPO(ids["g2"]); err != nil {
+		t.Fatalf("unmark: %v", err)
+	}
+	if err := c.RemoveNode(ids["g2"]); err != nil {
+		t.Fatalf("remove g2: %v", err)
+	}
+
+	// IDs above the removed nodes shifted down; names stay coherent.
+	if err := c.Validate(); err != nil {
+		t.Fatalf("validate after removals: %v", err)
+	}
+	g1, ok := c.Lookup("g1")
+	if !ok {
+		t.Fatalf("g1 lost")
+	}
+	if got := fanoutOf(c, g1); len(got) != 0 {
+		t.Fatalf("g1 keeps stale fanout %v", got)
+	}
+	if got := c.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	for _, name := range []string{"a", "b", "g1"} {
+		id, ok := c.Lookup(name)
+		if !ok || c.Node(id).Name != name {
+			t.Fatalf("name map broken for %q", name)
+		}
+	}
+
+	// A node reading the same driver through two pins releases it fully.
+	g3, err := c.AddGate("g3", FnAnd, g1, g1)
+	if err != nil {
+		t.Fatalf("add g3: %v", err)
+	}
+	if err := c.RemoveNode(g3); err != nil {
+		t.Fatalf("remove g3: %v", err)
+	}
+	if got := fanoutOf(c, g1); len(got) != 0 {
+		t.Fatalf("double-pin removal left fanout %v on g1", got)
+	}
+}
+
+// TestRemoveNodeKeepsEqualCircuitsAligned is the ECO bit-alignment
+// contract: two equal circuits receiving the same mutation stream stay
+// equal node for node.
+func TestRemoveNodeKeepsEqualCircuitsAligned(t *testing.T) {
+	a, ids := buildECO(t)
+	b := a.Clone()
+	mutate := func(c *Circuit) {
+		d, _ := c.Lookup("d")
+		if err := c.RemoveNode(d); err != nil {
+			t.Fatalf("remove d: %v", err)
+		}
+		g1, _ := c.Lookup("g1")
+		if err := c.Rewire(g1, []NodeID{ids["b"], ids["a"]}); err != nil {
+			t.Fatalf("rewire g1: %v", err)
+		}
+	}
+	mutate(a)
+	mutate(b)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts diverged: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		if na.Name != nb.Name || na.Kind != nb.Kind ||
+			!reflect.DeepEqual(na.Fanin, nb.Fanin) || !reflect.DeepEqual(na.Fanout, nb.Fanout) {
+			t.Fatalf("node %d diverged: %+v vs %+v", i, na, nb)
+		}
+	}
+}

@@ -130,6 +130,16 @@ type Options struct {
 	// negative) means one worker per available CPU; 1 is the sequential
 	// path. Results are bit-identical for every value (DESIGN.md §11).
 	Workers int
+	// WarmStart bulk-seeds every fresh closure engine with the P0
+	// requirement closure of the committed state (seedRequirementClosure)
+	// instead of letting the loop discover the same constraints one
+	// violation batch at a time. The commit criterion is unchanged — a
+	// set is only committed after findViolations verifies it against the
+	// authoritative state — so the fixpoint is the one the lazy cascade
+	// reaches (see TestWarmStartMatchesCold); only the discovery cost
+	// changes. Ignored by EngineForest. Used by the ECO/session delta
+	// path (DESIGN.md §17).
+	WarmStart bool
 }
 
 // engine abstracts the closed-set machinery shared by Minimize.
@@ -327,6 +337,11 @@ func MinimizeCtx(ctx context.Context, g *graph.Graph, gains []int64, obsInt []in
 			e = newClosureEngine(g.NumVertices(), gains)
 		}
 		e.Freeze(int32(graph.Host))
+		if opt.WarmStart {
+			if ce, ok := e.(*closureEngine); ok {
+				seedRequirementClosure(ce, g, st, gains)
+			}
+		}
 		return e, nil
 	}
 	eng, err := newEngine()

@@ -131,6 +131,20 @@ func (e *closureEngine) PositiveSet() ([]int32, []bool) {
 
 func (e *closureEngine) Weight(v int32) int32 { return e.w[v] }
 
+// seedArc records the constraint p → q without the incremental-cache
+// maintenance of AddConstraint. Bulk loaders (seedRequirementClosure)
+// use it and invalidate the cached set once, when done.
+func (e *closureEngine) seedArc(p, q int32) {
+	key := [2]int32{p, q}
+	if _, dup := e.arcSet[key]; dup {
+		return
+	}
+	e.arcSet[key] = struct{}{}
+	e.arcs = append(e.arcs, key)
+	e.arcOut[p] = append(e.arcOut[p], q)
+	e.arcIn[q] = append(e.arcIn[q], p)
+}
+
 func (e *closureEngine) SetWeight(q int32, w int32) error {
 	if w < 1 {
 		return fmt.Errorf("core: weight %d < 1", w)

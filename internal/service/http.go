@@ -23,19 +23,29 @@ import (
 
 // Handler returns the service's HTTP front end:
 //
-//	POST /v1/retime           submit a netlist (raw or multipart body)
-//	GET  /v1/jobs/{id}        job status
-//	GET  /v1/jobs/{id}/result retimed netlist download
-//	GET  /v1/jobs/{id}/trace  the job's span tree (telemetry.TraceDoc)
-//	GET  /debug/jobs          live view of in-flight jobs + utilization
-//	GET  /healthz             liveness + queue depth + build info
-//	GET  /metrics             Prometheus-style metrics (with exemplars)
+//	POST   /v1/retime                submit a netlist (raw or multipart body)
+//	GET    /v1/jobs/{id}             job status
+//	GET    /v1/jobs/{id}/result      retimed netlist download
+//	GET    /v1/jobs/{id}/trace       the job's span tree (telemetry.TraceDoc)
+//	POST   /v1/sessions              open a warm ECO session (netlist + options)
+//	POST   /v1/sessions/{id}/delta   apply a netlist delta, re-solve incrementally
+//	GET    /v1/sessions/{id}         session status
+//	GET    /v1/sessions/{id}/result  the session's committed retimed netlist
+//	DELETE /v1/sessions/{id}         close a session
+//	GET    /debug/jobs               live view of in-flight jobs + sessions
+//	GET    /healthz                  liveness + queue depth + build info
+//	GET    /metrics                  Prometheus-style metrics (with exemplars)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/retime", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleSessionResult)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -62,12 +72,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterHeader sets the configured backpressure hint. Every
+// "come back later" response goes through here, so the hint a client
+// sees is always Config.RetryAfter — never a hardcoded constant.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+}
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSessionsFull), errors.Is(err, ErrSolversBusy):
+		s.retryAfterHeader(w)
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrSessionBusy):
+		s.retryAfterHeader(w)
+		status = http.StatusConflict
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, guard.ErrParse):
@@ -151,6 +171,8 @@ type debugJobsResponse struct {
 	InFlight      []InFlightJob `json:"in_flight"`
 	Completed     int64         `json:"completed"`
 	Failed        int64         `json:"failed"`
+	// Sessions lists the open warm ECO sessions, oldest ID first.
+	Sessions []SessionView `json:"sessions"`
 }
 
 func (s *Server) handleDebugJobs(w http.ResponseWriter, _ *http.Request) {
@@ -169,6 +191,7 @@ func (s *Server) handleDebugJobs(w http.ResponseWriter, _ *http.Request) {
 		InFlight:      rows,
 		Completed:     completed,
 		Failed:        failed,
+		Sessions:      s.Sessions(),
 	})
 }
 
@@ -356,7 +379,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Result(j)
 	if err != nil {
 		if v := s.View(j); v.Status == StateQueued.String() || v.Status == StateRunning.String() {
-			w.Header().Set("Retry-After", "1")
+			s.retryAfterHeader(w)
 			writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job %s: %s", j.ID, v.Status)})
 			return
 		}

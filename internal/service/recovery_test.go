@@ -155,6 +155,69 @@ func TestRecoveryRequeuesInterruptedJob(t *testing.T) {
 	}
 }
 
+// TestRecoveryRequeuesFastAccuracyJob is the regression test for the
+// options blob dropping Analysis.Accuracy: a fast-mode job interrupted
+// mid-solve must recover under its *fast* key. Before the fix the
+// decoded options defaulted to exact, the re-derived key disagreed with
+// the journaled ID, and the job was silently Dropped instead of
+// re-solved.
+func TestRecoveryRequeuesFastAccuracyJob(t *testing.T) {
+	dir := t.TempDir()
+	d := tableIDesign(t, "s13207", 100)
+	opt := fastOpts()
+	opt.Timeout = time.Minute
+	opt.Analysis.Accuracy = serretime.AccuracyFast
+	key, err := JobKey(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diskA, _, _ := openStore(t, dir)
+	if err := diskA.JournalSubmitted(key, d.Name(), benchBytes(t, d), encodeOptions(opt), opt.CanonicalKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskA.JournalRunning(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := diskA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	diskB, jobs, st := openStore(t, dir)
+	s := New(context.Background(), Config{Workers: 2, Timeout: time.Minute, Store: diskB})
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(dctx)
+	}()
+	sum := s.Restore(jobs, st)
+	if sum.Dropped != 0 || sum.Requeued != 1 {
+		t.Fatalf("restore summary: %+v (fast-accuracy job must requeue, not drop)", sum)
+	}
+	j, ok := s.Job(key)
+	if !ok {
+		t.Fatalf("fast job %.12s not registered under its fast key", key)
+	}
+	select {
+	case <-j.Done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("requeued fast job never finished")
+	}
+	if _, err := s.Result(j); err != nil {
+		t.Fatalf("re-solved fast job failed: %v", err)
+	}
+	// The cache answers under the fast key only; the exact-mode twin is
+	// still a fresh job.
+	if _, disp, err := s.Submit(d, opt); err != nil || disp != Cached {
+		t.Fatalf("fast resubmission: %v, %v", disp, err)
+	}
+	exact := opt
+	exact.Analysis.Accuracy = serretime.AccuracyExact
+	if _, disp, err := s.Submit(d, exact); err != nil || disp == Cached {
+		t.Fatalf("exact twin must not hit the fast cache entry: %v, %v", disp, err)
+	}
+}
+
 // TestRecoveryDropsKeyMismatch journals a record whose ID does not
 // match the payload+options it claims: Restore must refuse to solve
 // under a forged identity.

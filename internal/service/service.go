@@ -149,8 +149,16 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds an uploaded netlist. Default 32 MiB.
 	MaxBodyBytes int64
-	// RetryAfter is the backpressure hint returned with 429. Default 1s.
+	// RetryAfter is the backpressure hint returned with 429 (and with
+	// 409 on a not-yet-finished result poll or a busy session). Default 1s.
 	RetryAfter time.Duration
+	// MaxSessions bounds the warm ECO session table; at capacity the
+	// least-recently-used idle session is evicted to admit a new one.
+	// Default 32.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (lazily, on the
+	// next table access). Default 15m; <0 disables expiry.
+	SessionTTL time.Duration
 	// SlowJob, when positive, arms the slow-job watchdog: any job
 	// running longer than this gets its stack-of-spans snapshot logged
 	// through Logf (once per job), so a wedged solve names the exact
@@ -190,6 +198,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 32
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -225,6 +239,20 @@ type Server struct {
 	storeErrs int64
 	restored  RestoreSummary
 
+	// Warm ECO sessions (DESIGN.md §17). sessMu guards the table and its
+	// counters only — never held across a solve; per-session locks
+	// serialize those. sessNonce prefixes every session ID so IDs from a
+	// previous boot are answerable with 410 Gone.
+	sessMu            sync.Mutex
+	sessions          map[string]*session
+	sessNonce         string
+	sessSeq           int64
+	sessOpened        int64
+	sessDeltaWarm     int64
+	sessDeltaFallback int64
+	sessEvicted       map[string]int64
+	sessSolve         chan struct{} // solve-slot semaphore (cap Workers)
+
 	// counters (guarded by mu; scraped by /metrics)
 	accepted  int64 // jobs enqueued (cache misses)
 	rejected  int64 // 429s: queue full
@@ -256,6 +284,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	if cfg.Store != nil {
 		s.storeMode = StoreDisk
 	}
+	s.initSessions()
 	s.rec = telemetry.Tee(s.col, cfg.Recorder)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)

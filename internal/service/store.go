@@ -82,25 +82,29 @@ func (s *Server) logf(format string, args ...any) {
 // worker budgets, CheckLabels — are reapplied from the server's own
 // config at recovery, exactly as Submit applies them to fresh jobs.
 type optionsBlob struct {
-	Algorithm       int           `json:"alg"`
-	Engine          int           `json:"eng"`
-	Epsilon         float64       `json:"eps,omitempty"`
-	Ts              float64       `json:"ts,omitempty"`
-	Th              float64       `json:"th,omitempty"`
-	AreaWeight      float64       `json:"area,omitempty"`
-	RminOverride    float64       `json:"rmin,omitempty"`
-	KUnits          int           `json:"kunits,omitempty"`
-	SingleViolation bool          `json:"single,omitempty"`
-	LiteralGains    bool          `json:"literal,omitempty"`
-	Verify          bool          `json:"verify,omitempty"`
-	StallSteps      int           `json:"stall,omitempty"`
-	Frames          int           `json:"frames,omitempty"`
-	SignatureWords  int           `json:"words,omitempty"`
-	MaxIntervals    int           `json:"maxiv,omitempty"`
-	Seed            int64         `json:"seed,omitempty"`
-	Timeout         time.Duration `json:"timeout,omitempty"`
-	Retries         int           `json:"retries,omitempty"`
-	RelaxFactor     float64       `json:"relax,omitempty"`
+	Algorithm       int     `json:"alg"`
+	Engine          int     `json:"eng"`
+	Epsilon         float64 `json:"eps,omitempty"`
+	Ts              float64 `json:"ts,omitempty"`
+	Th              float64 `json:"th,omitempty"`
+	AreaWeight      float64 `json:"area,omitempty"`
+	RminOverride    float64 `json:"rmin,omitempty"`
+	KUnits          int     `json:"kunits,omitempty"`
+	SingleViolation bool    `json:"single,omitempty"`
+	LiteralGains    bool    `json:"literal,omitempty"`
+	Verify          bool    `json:"verify,omitempty"`
+	StallSteps      int     `json:"stall,omitempty"`
+	Frames          int     `json:"frames,omitempty"`
+	SignatureWords  int     `json:"words,omitempty"`
+	MaxIntervals    int     `json:"maxiv,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+	// Accuracy selects the observability engine tier. Old journals wrote
+	// no "acc" field; absent decodes to 0 = AccuracyExact, which is what
+	// those jobs ran with, so recovery keys stay stable across upgrades.
+	Accuracy    int           `json:"acc,omitempty"`
+	Timeout     time.Duration `json:"timeout,omitempty"`
+	Retries     int           `json:"retries,omitempty"`
+	RelaxFactor float64       `json:"relax,omitempty"`
 }
 
 func encodeOptions(opt serretime.RobustOptions) []byte {
@@ -121,6 +125,7 @@ func encodeOptions(opt serretime.RobustOptions) []byte {
 		SignatureWords:  opt.Analysis.SignatureWords,
 		MaxIntervals:    opt.Analysis.MaxIntervals,
 		Seed:            opt.Analysis.Seed,
+		Accuracy:        int(opt.Analysis.Accuracy),
 		Timeout:         opt.Timeout,
 		Retries:         opt.Retries,
 		RelaxFactor:     opt.RelaxFactor,
@@ -153,6 +158,7 @@ func decodeOptions(blob []byte) (serretime.RobustOptions, error) {
 	opt.Analysis.SignatureWords = b.SignatureWords
 	opt.Analysis.MaxIntervals = b.MaxIntervals
 	opt.Analysis.Seed = b.Seed
+	opt.Analysis.Accuracy = serretime.Accuracy(b.Accuracy)
 	opt.Timeout = b.Timeout
 	opt.Retries = b.Retries
 	opt.RelaxFactor = b.RelaxFactor

@@ -141,6 +141,16 @@ type RetimeOptions struct {
 	// value (DESIGN.md §11). Analysis.Workers, when nonzero, overrides
 	// this for the observability analysis alone.
 	Workers int
+	// WarmStart bulk-seeds the optimizer's constraint engine with the P0
+	// requirement closure of each round's committed state instead of
+	// discovering the same constraints one violation batch at a time
+	// (core.Options.WarmStart). The committed fixpoint is unchanged —
+	// every tentative is still verified against the authoritative solver
+	// state before a commit (TestWarmStartMatchesCold asserts
+	// bit-identity) — so, like Workers, the field is result-invariant and
+	// excluded from CanonicalKey. The ECO session delta path sets it
+	// (DESIGN.md §17).
+	WarmStart bool
 }
 
 // normalized applies the documented defaults (ε = 0.10, Ts/Th = 0/2,
@@ -210,10 +220,12 @@ func canonFloat(v float64) string {
 // that can influence the retiming result, with defaults applied — two
 // option values with equal keys request the same computation. Fields
 // documented result-invariant are excluded: Workers (bit-identical for
-// every count, DESIGN.md §11), Recorder, Verify, CheckLabels and
-// FullLabelRecompute (check/debug modes that can only turn a result into
-// an error, never change it). The service's content-addressed cache
-// hashes this string next to the normalized netlist.
+// every count, DESIGN.md §11), WarmStart (same fixpoint, different
+// constraint-discovery cost, DESIGN.md §17), Recorder, Verify,
+// CheckLabels and FullLabelRecompute (check/debug modes that can only
+// turn a result into an error, never change it). The service's
+// content-addressed cache hashes this string next to the normalized
+// netlist.
 func (o RetimeOptions) CanonicalKey() string {
 	n := o.normalized()
 	return fmt.Sprintf("alg=%s engine=%s eps=%s ts=%s th=%s area=%s rmin=%s kunits=%d single=%t literal=%t stall=%d %s",
@@ -339,6 +351,7 @@ func (d *Design) retime(ctx context.Context, opt RetimeOptions) (*RetimeResult, 
 		FullLabelRecompute: opt.FullLabelRecompute,
 		Recorder:           opt.Recorder,
 		Workers:            opt.Workers,
+		WarmStart:          opt.WarmStart,
 	}
 	if opt.RminOverride != 0 {
 		copt.Rmin = opt.RminOverride

@@ -191,8 +191,13 @@ func (d *Design) RetimeRobust(ctx context.Context, opt RobustOptions) (*RobustRe
 	}
 	// Tiers built from this options value share one initialization memo
 	// (the chain construction below copies RetimeOptions by value, so the
-	// pointer is what carries across rungs).
-	opt.RetimeOptions.initMemo = &initCache{}
+	// pointer is what carries across rungs). The ECO session path
+	// (WarmState) pre-sets a memo that outlives one call, so option-only
+	// deltas re-enter the Section V initialization for free; batch
+	// callers always start fresh.
+	if opt.RetimeOptions.initMemo == nil {
+		opt.RetimeOptions.initMemo = &initCache{}
+	}
 	type rung struct {
 		tier Tier
 		opts RetimeOptions

@@ -1,0 +1,105 @@
+package serretime
+
+// Property tests of the warm-start invariance claimed by DESIGN.md §17:
+// bulk-seeding the optimizer's constraint engine with the P0 requirement
+// closure (core.Options.WarmStart, the ECO session path) must reach the
+// same committed fixpoint as the lazy violation-discovery cascade — the
+// retimed netlist, objective, and SER analyses are bit-identical; only
+// the step count (discovery cost) may change.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+)
+
+// warmStartCases pairs circuits with option sets covering both
+// algorithms, both gains formulations, and the fast analysis engine.
+func warmStartCases(t *testing.T) []struct {
+	name string
+	d    func() *Design
+	opt  RetimeOptions
+} {
+	t.Helper()
+	fromFile := func(path string) func() *Design {
+		return func() *Design {
+			d, err := Load(path)
+			if err != nil {
+				t.Fatalf("load %s: %v", path, err)
+			}
+			return d
+		}
+	}
+	fromSpec := func(s CircuitSpec) func() *Design {
+		return func() *Design {
+			d, err := Synthesize(s)
+			if err != nil {
+				t.Fatalf("generate %s: %v", s.Name, err)
+			}
+			return d
+		}
+	}
+	small := AnalysisOptions{Frames: 3, SignatureWords: 1}
+	return []struct {
+		name string
+		d    func() *Design
+		opt  RetimeOptions
+	}{
+		{"s27-minobswin", fromFile(filepath.Join("testdata", "s27.bench")),
+			RetimeOptions{Algorithm: MinObsWin, Analysis: small}},
+		{"pipeline4-minobs", fromFile(filepath.Join("testdata", "pipeline4.bench")),
+			RetimeOptions{Algorithm: MinObs, Analysis: small}},
+		{"gen-wide-minobswin", fromSpec(CircuitSpec{Name: "warm-wide", Gates: 420, Conns: 980, FFs: 48, Depth: 9, FanoutSkew: 0.25}),
+			RetimeOptions{Algorithm: MinObsWin, Analysis: small}},
+		{"gen-deep-literal", fromSpec(CircuitSpec{Name: "warm-deep", Gates: 300, Conns: 640, FFs: 30, Depth: 24}),
+			RetimeOptions{Algorithm: MinObsWin, LiteralGains: true, Analysis: small}},
+		{"gen-deep-fast", fromSpec(CircuitSpec{Name: "warm-deep-fast", Gates: 300, Conns: 640, FFs: 30, Depth: 24}),
+			RetimeOptions{Algorithm: MinObs, Analysis: AnalysisOptions{Accuracy: AccuracyFast, Frames: 3, SignatureWords: 1}}},
+		{"par2500-minobswin", fromFile(filepath.Join("testdata", "par2500.bench")),
+			RetimeOptions{Algorithm: MinObsWin, Analysis: small}},
+	}
+}
+
+// retimedBytes renders the result the service serves for a job: the
+// retimed circuit in canonical .bench form.
+func retimedBytes(t *testing.T, res *RetimeResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Retimed.WriteBench(&buf); err != nil {
+		t.Fatalf("encode retimed: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWarmStartMatchesCold(t *testing.T) {
+	for _, tc := range warmStartCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			cold, err := tc.d().Retime(tc.opt)
+			if err != nil {
+				t.Fatalf("cold retime: %v", err)
+			}
+			warm := tc.opt
+			warm.WarmStart = true
+			got, err := tc.d().Retime(warm)
+			if err != nil {
+				t.Fatalf("warm retime: %v", err)
+			}
+			if cold.Rounds != got.Rounds {
+				t.Errorf("rounds: cold %d warm %d", cold.Rounds, got.Rounds)
+			}
+			if cold.After.SER != got.After.SER || cold.After.SharedFFs != got.After.SharedFFs {
+				t.Errorf("analysis: cold SER=%v FFs=%d, warm SER=%v FFs=%d",
+					cold.After.SER, cold.After.SharedFFs, got.After.SER, got.After.SharedFFs)
+			}
+			cb, wb := retimedBytes(t, cold), retimedBytes(t, got)
+			if !bytes.Equal(cb, wb) {
+				t.Fatalf("retimed netlist differs (cold %d bytes, warm %d bytes)", len(cb), len(wb))
+			}
+			if testing.Verbose() {
+				fmt.Printf("%s: steps cold=%d warm=%d\n", tc.name, cold.Steps, got.Steps)
+			}
+		})
+	}
+}
